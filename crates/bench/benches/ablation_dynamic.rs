@@ -1,0 +1,27 @@
+//! Ablation bench: the dynamic-switching extension — envelope construction
+//! and evaluation cost vs a static model, across ladder depths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use enprop_explore::DynamicEnvelope;
+use enprop_metrics::GridSpec;
+
+fn bench_dynamic(c: &mut Criterion) {
+    let w = enprop_workloads::catalog::by_name("EP").unwrap();
+    let grid = GridSpec::new(100);
+    let mut group = c.benchmark_group("ablation_dynamic");
+    for (a9, k10) in [(8u32, 4u32), (32, 12), (64, 24)] {
+        group.bench_with_input(
+            BenchmarkId::new("build_ladder", format!("{a9}a9_{k10}k10")),
+            &(a9, k10),
+            |b, &(a9, k10)| b.iter(|| DynamicEnvelope::shed_brawny_ladder(&w, a9, k10)),
+        );
+    }
+    let envelope = DynamicEnvelope::shed_brawny_ladder(&w, 32, 12);
+    group.bench_function("power_curve_100pt", |b| {
+        b.iter(|| envelope.power_curve(grid))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dynamic);
+criterion_main!(benches);

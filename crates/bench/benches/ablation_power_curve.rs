@@ -1,0 +1,31 @@
+//! Ablation bench: metric evaluation cost for the linear model curve vs
+//! the quadratic curve of Hsu & Poole (ICPP'13) vs a dense sampled curve —
+//! the design choice DESIGN.md calls out (the paper's model is linear;
+//! real servers trend quadratic).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use enprop_metrics::{
+    GridSpec, LinearCurve, ProportionalityMetrics, QuadraticCurve, SampledCurve,
+};
+
+fn bench_curves(c: &mut Criterion) {
+    let grid = GridSpec::new(1000);
+    let linear = LinearCurve::new(45.0, 69.0);
+    let quad = QuadraticCurve::new(45.0, 69.0, 0.4);
+    let sampled = SampledCurve::from_curve(&quad, 1000);
+
+    let mut group = c.benchmark_group("ablation_power_curve");
+    group.bench_function("metrics_linear", |b| {
+        b.iter(|| ProportionalityMetrics::with_grid(&linear, grid))
+    });
+    group.bench_function("metrics_quadratic", |b| {
+        b.iter(|| ProportionalityMetrics::with_grid(&quad, grid))
+    });
+    group.bench_function("metrics_sampled_1000pt", |b| {
+        b.iter(|| ProportionalityMetrics::with_grid(&sampled, grid))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_curves);
+criterion_main!(benches);

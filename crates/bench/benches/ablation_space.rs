@@ -1,0 +1,30 @@
+//! Ablation bench: configuration-space machinery at the paper's scale —
+//! enumeration, parallel model evaluation and Pareto extraction for the
+//! footnote-4 space (36,380 configurations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use enprop_explore::{
+    count_configurations, enumerate_configurations, evaluate_space, pareto_front, TypeSpace,
+};
+
+fn bench_space(c: &mut Criterion) {
+    let types = [TypeSpace::a9(10), TypeSpace::k10(10)];
+    assert_eq!(count_configurations(&types), 36_380);
+    let w = enprop_workloads::catalog::by_name("EP").unwrap();
+
+    let mut group = c.benchmark_group("ablation_space");
+    group.sample_size(10);
+    group.bench_function("enumerate_36380", |b| {
+        b.iter(|| enumerate_configurations(&types).len())
+    });
+    let configs = enumerate_configurations(&types);
+    group.bench_function("evaluate_36380_parallel", |b| {
+        b.iter(|| evaluate_space(&w, configs.clone()).len())
+    });
+    let evald = evaluate_space(&w, configs);
+    group.bench_function("pareto_front_36380", |b| b.iter(|| pareto_front(&evald).len()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_space);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Ablation bench: the strategy-comparison machinery — sleep management,
+//! dynamic switching and heuristic search, at the scales the `strategies`
+//! and `search` commands use.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use enprop_explore::{local_search, DynamicEnvelope, SleepManagedCluster, SleepPolicy, TypeSpace};
+use enprop_metrics::GridSpec;
+
+fn bench_strategies(c: &mut Criterion) {
+    let w = enprop_workloads::catalog::by_name("EP").unwrap();
+    let grid = GridSpec::new(100);
+    let mut group = c.benchmark_group("ablation_strategies");
+    group.sample_size(10);
+    group.bench_function("sleep_power_curve", |b| {
+        let s = SleepManagedCluster::homogeneous(&w, "K10", 16, SleepPolicy::barely_alive());
+        b.iter(|| s.power_curve(grid))
+    });
+    group.bench_function("dynamic_envelope_curve", |b| {
+        let e = DynamicEnvelope::shed_brawny_ladder(&w, 32, 12);
+        b.iter(|| e.power_curve(grid))
+    });
+    group.bench_function("local_search_139k_space", |b| {
+        let types = [TypeSpace::a9(32), TypeSpace::k10(12)];
+        b.iter(|| local_search(&w, &types, 0.05, 4, 7))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Bench: regenerating Figs. 11 (EP) and 12 (x264) — 95th-percentile
+//! response times of the Pareto mixes across the utilization grid, via the
+//! M/D/1 waiting-time distribution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use enprop_core::ClusterModel;
+
+fn bench_response(c: &mut Criterion) {
+    let grid = enprop_bench::response_grid();
+    let mixes = enprop_bench::pareto_mixes();
+    let mut group = c.benchmark_group("fig11_fig12_response");
+    group.sample_size(20);
+    for name in ["EP", "x264"] {
+        let w = enprop_workloads::catalog::by_name(name).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &w, |b, w| {
+            b.iter(|| {
+                mixes
+                    .iter()
+                    .map(|mix| {
+                        let model = ClusterModel::new(w.clone(), mix.clone());
+                        grid.iter()
+                            .map(|&u| model.p95_response_time(u))
+                            .collect::<Vec<_>>()
+                    })
+                    .collect::<Vec<_>>()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_response);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Bench: regenerating Figs. 5a–c and 6a–c — single-node proportionality
+//! and PPR curves over the utilization grid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use enprop_core::ClusterModel;
+use enprop_metrics::PowerCurve;
+
+fn bench_curves(c: &mut Criterion) {
+    let grid = enprop_bench::utilization_grid();
+    let mut group = c.benchmark_group("fig5_fig6_single_node_curves");
+    for name in ["EP", "x264", "blackscholes"] {
+        let w = enprop_workloads::catalog::by_name(name).unwrap();
+        group.bench_with_input(BenchmarkId::new("fig5", name), &w, |b, w| {
+            b.iter(|| {
+                let mut out = Vec::new();
+                for node in ["A9", "K10"] {
+                    let m = ClusterModel::single_node(w.clone(), node);
+                    let curve = m.power_curve();
+                    out.push(grid.iter().map(|&u| curve.normalized(u)).collect::<Vec<_>>());
+                }
+                out
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("fig6", name), &w, |b, w| {
+            b.iter(|| {
+                let mut out = Vec::new();
+                for node in ["A9", "K10"] {
+                    let m = ClusterModel::single_node(w.clone(), node);
+                    let ppr = m.ppr_curve();
+                    out.push(grid.iter().map(|&u| ppr.ppr(u)).collect::<Vec<_>>());
+                }
+                out
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_curves);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Bench: regenerating Figs. 7 and 8 — cluster-wide proportionality and
+//! PPR curves for the five 1 kW budget mixes running EP.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use enprop_core::ClusterModel;
+use enprop_metrics::PowerCurve;
+
+fn bench_cluster_curves(c: &mut Criterion) {
+    let w = enprop_workloads::catalog::by_name("EP").unwrap();
+    let mixes = enprop_bench::budget_mixes();
+    let grid = enprop_bench::utilization_grid();
+    let mut group = c.benchmark_group("fig7_fig8_cluster_curves");
+    group.bench_function("fig7_proportionality", |b| {
+        b.iter(|| {
+            mixes
+                .iter()
+                .map(|m| {
+                    let model = ClusterModel::new(w.clone(), m.clone());
+                    let curve = model.power_curve();
+                    grid.iter().map(|&u| curve.normalized(u)).collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        });
+    });
+    group.bench_function("fig8_ppr", |b| {
+        b.iter(|| {
+            mixes
+                .iter()
+                .map(|m| {
+                    let model = ClusterModel::new(w.clone(), m.clone());
+                    let ppr = model.ppr_curve();
+                    grid.iter().map(|&u| ppr.ppr(u)).collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster_curves);
+criterion_main!(benches);

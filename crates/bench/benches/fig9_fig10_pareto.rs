@@ -1,0 +1,34 @@
+//! Bench: regenerating Figs. 9 (EP) and 10 (x264) — normalized power
+//! curves of the Pareto mixes plus crossover detection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use enprop_clustersim::ClusterSpec;
+use enprop_core::{normalized_power_samples, ClusterModel};
+use enprop_metrics::{crossovers_against, GridSpec};
+
+fn bench_pareto_curves(c: &mut Criterion) {
+    let grid = GridSpec::new(200);
+    let mixes = enprop_bench::pareto_mixes();
+    let mut group = c.benchmark_group("fig9_fig10_pareto");
+    for name in ["EP", "x264"] {
+        let w = enprop_workloads::catalog::by_name(name).unwrap();
+        let reference = ClusterModel::new(w.clone(), ClusterSpec::a9_k10(32, 12));
+        let ref_peak = reference.busy_power_w();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &w, |b, w| {
+            b.iter(|| {
+                mixes
+                    .iter()
+                    .map(|mix| {
+                        let model = ClusterModel::new(w.clone(), mix.clone());
+                        let samples = normalized_power_samples(&model, ref_peak, grid);
+                        crossovers_against(&samples, 100.0, grid)
+                    })
+                    .collect::<Vec<_>>()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pareto_curves);
+criterion_main!(benches);

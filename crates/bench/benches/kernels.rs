@@ -1,0 +1,62 @@
+//! Bench: the real workload kernels — sequential vs Rayon-parallel
+//! throughput on the host (the paper measured these programs on its
+//! testbed; this is the living equivalent).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use enprop_workloads::kernels;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(10);
+
+    group.throughput(Throughput::Elements(200_000));
+    group.bench_function("ep_sequential", |b| {
+        b.iter(|| kernels::ep::kernel(100_000, 271_828_183, false))
+    });
+    group.bench_function("ep_parallel", |b| {
+        b.iter(|| kernels::ep::kernel(100_000, 271_828_183, true))
+    });
+
+    let opts = kernels::blackscholes::portfolio(100_000, 42);
+    group.throughput(Throughput::Elements(opts.len() as u64));
+    group.bench_function("blackscholes_sequential", |b| {
+        b.iter(|| kernels::blackscholes::kernel(&opts, false))
+    });
+    group.bench_function("blackscholes_parallel", |b| {
+        b.iter(|| kernels::blackscholes::kernel(&opts, true))
+    });
+
+    group.throughput(Throughput::Elements(2));
+    group.bench_function("x264_motion_estimation", |b| {
+        b.iter(|| kernels::x264::kernel(320, 192, 2, 8, true))
+    });
+
+    group.throughput(Throughput::Elements(50_000));
+    group.bench_function("memcached_kvstore", |b| {
+        b.iter(|| kernels::kvstore::kernel(5_000, 50_000, 1024, 7))
+    });
+
+    group.throughput(Throughput::Elements(160_000));
+    group.bench_function("julius_gmm_viterbi", |b| {
+        b.iter(|| kernels::julius::kernel(160_000, 5))
+    });
+
+    group.throughput(Throughput::Elements(4));
+    group.bench_function("rsa2048_verify_montgomery", |b| {
+        b.iter(|| kernels::rsa::kernel(4, 42, false))
+    });
+
+    // Ablation: schoolbook square-and-multiply vs the Montgomery kernel.
+    let n = kernels::rsa::bench_modulus_2048();
+    let e = kernels::rsa::BigUint::from_u64(65537);
+    let sig = kernels::rsa::BigUint::from_u64(0xDEAD_BEEF).shl(700);
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("rsa2048_verify_schoolbook", |b| {
+        b.iter(|| sig.modpow(&e, &n))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

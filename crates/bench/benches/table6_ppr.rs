@@ -1,0 +1,18 @@
+//! Bench: regenerating Table 6 — the PPR-optimal configuration sweep of
+//! every (workload, node type) pair.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use enprop_core::best_ppr_config;
+
+fn bench_table6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table6_ppr");
+    for w in enprop_bench::workloads() {
+        group.bench_with_input(BenchmarkId::from_parameter(w.name), &w, |b, w| {
+            b.iter(|| (best_ppr_config(w, "A9"), best_ppr_config(w, "K10")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table6);
+criterion_main!(benches);

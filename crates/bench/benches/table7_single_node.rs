@@ -1,0 +1,18 @@
+//! Bench: regenerating Table 7 — single-node proportionality metrics for
+//! every workload on both node types.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use enprop_core::single_node_row;
+
+fn bench_table7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table7_single_node");
+    for w in enprop_bench::workloads() {
+        group.bench_with_input(BenchmarkId::from_parameter(w.name), &w, |b, w| {
+            b.iter(|| (single_node_row(w, "A9"), single_node_row(w, "K10")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table7);
+criterion_main!(benches);

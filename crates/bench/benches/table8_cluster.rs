@@ -1,0 +1,27 @@
+//! Bench: regenerating Table 8 — cluster-wide metrics for the three
+//! budget columns of every workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use enprop_clustersim::ClusterSpec;
+use enprop_core::ClusterModel;
+
+fn bench_table8(c: &mut Criterion) {
+    let mixes = [(128u32, 0u32), (64, 8), (0, 16)];
+    let mut group = c.benchmark_group("table8_cluster");
+    for w in enprop_bench::workloads() {
+        group.bench_with_input(BenchmarkId::from_parameter(w.name), &w, |b, w| {
+            b.iter(|| {
+                mixes
+                    .iter()
+                    .map(|&(a9, k10)| {
+                        ClusterModel::new(w.clone(), ClusterSpec::a9_k10(a9, k10)).metrics()
+                    })
+                    .collect::<Vec<_>>()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table8);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Shared fixtures for the benchmark harness: every bench regenerates one
+//! of the paper's tables or figures, so the fixtures mirror the
+//! experiment setups exactly (workloads, mixes, utilization grids).
+
+use enprop_clustersim::ClusterSpec;
+use enprop_workloads::{catalog, Workload};
+
+/// All six paper workloads.
+pub fn workloads() -> Vec<Workload> {
+    catalog::all()
+}
+
+/// The Fig. 7/8 1 kW budget mixes.
+pub fn budget_mixes() -> Vec<ClusterSpec> {
+    enprop_explore::budget_mixes(1000.0, 4)
+}
+
+/// The Fig. 9–12 Pareto mixes (≤ 32 A9, ≤ 12 K10).
+pub fn pareto_mixes() -> Vec<ClusterSpec> {
+    [(32, 12), (25, 10), (25, 8), (25, 7), (25, 5)]
+        .into_iter()
+        .map(|(a, k)| ClusterSpec::a9_k10(a, k))
+        .collect()
+}
+
+/// The utilization grid of the proportionality figures (10%..100%).
+pub fn utilization_grid() -> Vec<f64> {
+    (1..=10).map(|i| i as f64 / 10.0).collect()
+}
+
+/// The denser grid of the response-time figures (20%..95%).
+pub fn response_grid() -> Vec<f64> {
+    (4..=19).map(|i| i as f64 / 20.0).collect()
+}

@@ -1,0 +1,72 @@
+//! Host characterization command: run the real kernels on this machine
+//! (the living analogue of the paper's `perf` + power-meter step).
+
+use super::Opts;
+use crate::output::{fmt_sig, render_csv, render_table};
+use enprop_nodesim::{characterize, Frictions, NodeSpec};
+use enprop_workloads::characterize::{measure, Kernel};
+
+/// Run every executable kernel briefly and report host throughput.
+pub fn kernels_cmd(opts: &Opts, scale: f64) {
+    println!("Host kernel characterization (scale {scale}):\n");
+    let kernels = [
+        (Kernel::Ep, "EP", "random numbers"),
+        (Kernel::Memcached, "memcached", "bytes"),
+        (Kernel::X264, "x264", "frames"),
+        (Kernel::Blackscholes, "blackscholes", "options"),
+        (Kernel::Julius, "Julius", "samples"),
+        (Kernel::Rsa2048, "RSA-2048", "verifies"),
+    ];
+    let mut rows = vec![vec![
+        "Program".into(),
+        "ops".into(),
+        "seconds".into(),
+        "throughput [unit/s]".into(),
+        "unit".into(),
+    ]];
+    for (k, name, unit) in kernels {
+        let m = measure(k, scale);
+        rows.push(vec![
+            name.into(),
+            m.ops.to_string(),
+            format!("{:.3}", m.seconds),
+            fmt_sig(m.ops_per_sec),
+            unit.into(),
+        ]);
+    }
+    if opts.csv {
+        print!("{}", render_csv(&rows));
+    } else {
+        print!("{}", render_table(&rows));
+    }
+}
+
+/// Run the §II-B micro-benchmark power characterization against the
+/// simulated nodes and print the recovered parameters vs ground truth.
+pub fn power_cmd(opts: &Opts) {
+    println!("Micro-benchmark power characterization (simulated testbed):\n");
+    let mut rows = vec![vec![
+        "Node".into(),
+        "P_idle [W]".into(),
+        "P_CPU,act/core [W]".into(),
+        "P_CPU,stall/core [W]".into(),
+        "P_mem [W]".into(),
+        "P_net [W]".into(),
+    ]];
+    for spec in [NodeSpec::cortex_a9(), NodeSpec::opteron_k10()] {
+        let m = characterize(&spec, &Frictions::default(), opts.seed);
+        rows.push(vec![
+            spec.name.into(),
+            format!("{:.2}", m.idle_w),
+            format!("{:.3}", m.core_act_w),
+            format!("{:.3}", m.core_stall_w),
+            format!("{:.2}", m.mem_w),
+            format!("{:.2}", m.net_w),
+        ]);
+    }
+    if opts.csv {
+        print!("{}", render_csv(&rows));
+    } else {
+        print!("{}", render_table(&rows));
+    }
+}

@@ -1,0 +1,217 @@
+//! Configuration-space commands: footnote-4 counting, Pareto frontier and
+//! sweet-region queries.
+
+use super::Opts;
+use crate::output::{fmt_sig, render_csv, render_table};
+use enprop_explore::{
+    count_configurations, enumerate_configurations, evaluate_space, pareto_front, sweet_spot,
+    TypeSpace,
+};
+use enprop_workloads::catalog;
+
+/// Footnote 4: the configuration count for 10 ARM + 10 AMD nodes.
+pub fn footnote4_cmd(_opts: &Opts) {
+    println!("Footnote 4: configuration-space size\n");
+    let cases = [(10u32, 10u32), (32, 12), (4, 2)];
+    for (a9, k10) in cases {
+        let types = [TypeSpace::a9(a9), TypeSpace::k10(k10)];
+        println!(
+            "  {a9} A9 + {k10} K10  ->  {} configurations",
+            count_configurations(&types)
+        );
+    }
+    println!("\n(the paper's example: 10 + 10 nodes -> 36,380)");
+}
+
+/// Pareto frontier of a bounded configuration space for one workload.
+pub fn pareto_cmd(opts: &Opts, a9_max: u32, k10_max: u32) {
+    let name = opts.workload.clone().unwrap_or_else(|| "EP".into());
+    let Some(w) = catalog::by_name(&name) else {
+        eprintln!("unknown workload {name}");
+        std::process::exit(2);
+    };
+    let types = [TypeSpace::a9(a9_max), TypeSpace::k10(k10_max)];
+    let n = count_configurations(&types);
+    println!(
+        "Energy-deadline Pareto frontier: {name} over <= {a9_max} A9 + <= {k10_max} K10 \
+         ({n} configurations)\n"
+    );
+    let evald = evaluate_space(&w, enumerate_configurations(&types));
+    let front = pareto_front(&evald);
+    let mut rows = vec![vec![
+        "Configuration".into(),
+        "cores/freq".into(),
+        "T_job [s]".into(),
+        "E_job [J]".into(),
+        "P_busy [W]".into(),
+        "P_idle [W]".into(),
+    ]];
+    for e in front.iter().take(40) {
+        let cf: Vec<String> = e
+            .cluster
+            .groups
+            .iter()
+            .filter(|g| g.count > 0)
+            .map(|g| format!("{}x{}c@{:.1}GHz", g.spec.name, g.cores, g.freq / 1e9))
+            .collect();
+        rows.push(vec![
+            e.cluster.label(),
+            cf.join(" "),
+            fmt_sig(e.job_time),
+            fmt_sig(e.job_energy),
+            fmt_sig(e.busy_power_w),
+            fmt_sig(e.idle_power_w),
+        ]);
+    }
+    if opts.csv {
+        print!("{}", render_csv(&rows));
+    } else {
+        print!("{}", render_table(&rows));
+        if front.len() > 40 {
+            println!("… {} more frontier points", front.len() - 40);
+        }
+        println!("\nfrontier size: {} of {} configurations", front.len(), evald.len());
+    }
+}
+
+/// Sweet-spot query: minimum-energy configuration under a deadline.
+pub fn sweet_cmd(opts: &Opts, a9_max: u32, k10_max: u32, deadline: f64) {
+    let name = opts.workload.clone().unwrap_or_else(|| "EP".into());
+    let Some(w) = catalog::by_name(&name) else {
+        eprintln!("unknown workload {name}");
+        std::process::exit(2);
+    };
+    let types = [TypeSpace::a9(a9_max), TypeSpace::k10(k10_max)];
+    let evald = evaluate_space(&w, enumerate_configurations(&types));
+    println!("Sweet spot for {name} with deadline {deadline} s:\n");
+    match sweet_spot(&evald, deadline) {
+        Some(best) => {
+            println!("  configuration : {}", best.cluster.label());
+            for g in best.cluster.groups.iter().filter(|g| g.count > 0) {
+                println!(
+                    "    {} x{}: {} cores @ {:.2} GHz",
+                    g.spec.name,
+                    g.count,
+                    g.cores,
+                    g.freq / 1e9
+                );
+            }
+            println!("  job time      : {} s", fmt_sig(best.job_time));
+            println!("  job energy    : {} J", fmt_sig(best.job_energy));
+            println!("  nameplate     : {} W", fmt_sig(best.nameplate_w));
+        }
+        None => println!("  no configuration meets the deadline"),
+    }
+}
+
+/// Power trace of one observation interval (simulated WT210 log).
+pub fn trace_cmd(opts: &Opts, utilization: f64) {
+    use enprop_clustersim::{ClusterSim, ClusterSpec};
+    use enprop_workloads::catalog;
+    let name = opts.workload.clone().unwrap_or_else(|| "EP".into());
+    let Some(w) = catalog::by_name(&name) else {
+        eprintln!("unknown workload {name}");
+        std::process::exit(2);
+    };
+    let cluster = ClusterSpec::a9_k10(8, 2);
+    let sim = ClusterSim::new(&w, &cluster);
+    let mean = sim.sample_jobs(3, opts.seed);
+    let period = mean.duration * 20.0;
+    let trace = sim.power_trace(utilization, period, opts.seed);
+    println!(
+        "Power trace: {name} on {} at {:.0}% load over {:.2} s\n",
+        cluster.label(),
+        utilization * 100.0,
+        period
+    );
+    if opts.csv {
+        println!("t_start,watts");
+        for &(t, p) in &trace.segments {
+            println!("{t},{p}");
+        }
+    } else {
+        for &(t, p) in trace.segments.iter().take(24) {
+            let bar = "#".repeat((p / trace.mean_power() * 24.0) as usize);
+            println!("  {t:>8.3} s  {p:>8.1} W  {bar}");
+        }
+        if trace.segments.len() > 24 {
+            println!("  … {} more segments", trace.segments.len() - 24);
+        }
+        println!(
+            "\nmean power {:.1} W; energy {:.1} J (= integral of the trace)",
+            trace.mean_power(),
+            trace.energy()
+        );
+    }
+}
+
+/// Heuristic search demo: sweet spot without enumeration.
+pub fn search_cmd(opts: &Opts, a9_max: u32, k10_max: u32, deadline: f64) {
+    use enprop_explore::local_search;
+    use enprop_workloads::catalog;
+    let name = opts.workload.clone().unwrap_or_else(|| "EP".into());
+    let Some(w) = catalog::by_name(&name) else {
+        eprintln!("unknown workload {name}");
+        std::process::exit(2);
+    };
+    let types = [TypeSpace::a9(a9_max), TypeSpace::k10(k10_max)];
+    let space = count_configurations(&types);
+    let result = local_search(&w, &types, deadline, 12, opts.seed);
+    println!(
+        "Heuristic search: {name}, deadline {deadline} s over a {space}-configuration space\n"
+    );
+    match result.best {
+        Some(best) => {
+            println!("  found         : {}", best.cluster.label());
+            for g in best.cluster.groups.iter().filter(|g| g.count > 0) {
+                println!(
+                    "    {} x{}: {} cores @ {:.2} GHz",
+                    g.spec.name, g.count, g.cores, g.freq / 1e9
+                );
+            }
+            println!("  job time      : {} s", fmt_sig(best.job_time));
+            println!("  job energy    : {} J", fmt_sig(best.job_energy));
+        }
+        None => println!("  no feasible configuration found"),
+    }
+    println!(
+        "  evaluations   : {} ({:.1}% of enumeration)",
+        result.evaluations,
+        100.0 * result.evaluations as f64 / space as f64
+    );
+}
+
+/// Export the evaluated configuration space as CSV (for external
+/// analysis/plotting tools).
+pub fn export_cmd(opts: &Opts, a9_max: u32, k10_max: u32) {
+    use enprop_workloads::catalog;
+    let name = opts.workload.clone().unwrap_or_else(|| "EP".into());
+    let Some(w) = catalog::by_name(&name) else {
+        eprintln!("unknown workload {name}");
+        std::process::exit(2);
+    };
+    let types = [TypeSpace::a9(a9_max), TypeSpace::k10(k10_max)];
+    let evald = evaluate_space(&w, enumerate_configurations(&types));
+    let front: std::collections::HashSet<String> = pareto_front(&evald)
+        .iter()
+        .map(|e| format!("{:?}", e.cluster))
+        .collect();
+    println!("workload,a9,k10,a9_cores,a9_ghz,k10_cores,k10_ghz,job_time_s,job_energy_j,busy_w,idle_w,nameplate_w,on_pareto_front");
+    for e in &evald {
+        // Absent types are omitted from the group list; look up by name.
+        let g = |name: &str| e.cluster.groups.iter().find(|g| g.spec.name == name);
+        let (a9n, a9c, a9f) = g("A9").map_or((0, 0, 0.0), |g| (g.count, g.cores, g.freq / 1e9));
+        let (k10n, k10c, k10f) =
+            g("K10").map_or((0, 0, 0.0), |g| (g.count, g.cores, g.freq / 1e9));
+        println!(
+            "{},{a9n},{k10n},{a9c},{a9f},{k10c},{k10f},{},{},{},{},{},{}",
+            w.name,
+            e.job_time,
+            e.job_energy,
+            e.busy_power_w,
+            e.idle_power_w,
+            e.nameplate_w,
+            front.contains(&format!("{:?}", e.cluster))
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! One module per experiment family; each command regenerates a table or
+//! figure of the paper and prints it.
+
+pub mod characterize_cmd;
+pub mod explore_cmds;
+pub mod figures;
+pub mod strategies;
+pub mod tables;
+
+/// Shared command options parsed from the command line.
+#[derive(Debug, Clone)]
+pub struct Opts {
+    /// Emit CSV instead of human-readable tables/plots.
+    pub csv: bool,
+    /// Simulation sample count per measurement.
+    pub samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Optional workload override.
+    pub workload: Option<String>,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            csv: false,
+            samples: 5,
+            seed: 7,
+            workload: None,
+        }
+    }
+}
+
+/// The utilization grid the paper plots against (10%..100%).
+pub fn utilization_grid() -> Vec<f64> {
+    (1..=10).map(|i| i as f64 / 10.0).collect()
+}
+
+/// The denser 20%..95% grid of the response-time figures.
+pub fn response_grid() -> Vec<f64> {
+    (4..=19).map(|i| i as f64 / 20.0).collect()
+}

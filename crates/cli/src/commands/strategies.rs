@@ -1,0 +1,137 @@
+//! The synthesis command: every energy strategy this repository models,
+//! side by side — the paper's static mixes, its sub-linear heterogeneous
+//! configurations, the sleep modes its introduction argues against, and
+//! the dynamic switching it defers to future work.
+
+use super::Opts;
+use crate::output::{render_csv, render_table};
+use enprop_clustersim::ClusterSpec;
+use enprop_core::ClusterModel;
+use enprop_explore::{DynamicEnvelope, SleepManagedCluster, SleepPolicy};
+use enprop_metrics::{energy_proportionality_metric, GridSpec};
+use enprop_workloads::catalog;
+
+/// Diurnal load profile shared with the `diurnal_datacenter` example.
+fn load_at_hour(h: f64) -> f64 {
+    let phase = (h - 15.0) / 24.0 * std::f64::consts::TAU;
+    (0.525 + 0.375 * phase.cos()).clamp(0.0, 1.0)
+}
+
+/// One strategy's scorecard.
+struct Row {
+    name: String,
+    epm: f64,
+    idle_w: f64,
+    peak_w: f64,
+    p95_steady_ms: f64,
+    p95_spiky_ms: f64,
+    daily_kwh: f64,
+}
+
+fn daily_kwh<F: Fn(f64) -> f64>(power_at: F) -> f64 {
+    (0..24)
+        .map(|h| power_at(load_at_hour(h as f64)) * 3600.0)
+        .sum::<f64>()
+        / 3.6e6
+}
+
+/// Compare all strategies for one workload under the shared diurnal
+/// profile. "Spiky" p95 assumes half the observations land in a traffic
+/// spike that outruns sleeping capacity (the §I scenario).
+pub fn strategies_cmd(opts: &Opts) {
+    let name = opts.workload.clone().unwrap_or_else(|| "EP".into());
+    let Some(w) = catalog::by_name(&name) else {
+        eprintln!("unknown workload {name}");
+        std::process::exit(2);
+    };
+    println!("Energy strategies for {name} (load axis: fraction of 32 A9 : 12 K10 capacity)\n");
+
+    let grid = GridSpec::new(100);
+    let reference = ClusterModel::new(w.clone(), ClusterSpec::a9_k10(32, 12));
+    let ref_thru = reference.peak_throughput();
+    let steady = 0.30;
+    let mut rows: Vec<Row> = Vec::new();
+
+    // Static configurations: the reference mix, the paper's sub-linear
+    // pick, and both homogeneous extremes scaled to the same capacity
+    // regime.
+    for (label, a9, k10) in [
+        ("static 32 A9 : 12 K10", 32u32, 12u32),
+        ("static 25 A9 : 7 K10 (sub-linear)", 25, 7),
+        ("static 0 A9 : 16 K10", 0, 16),
+        ("static 128 A9 : 0 K10", 128, 0),
+    ] {
+        let m = ClusterModel::new(w.clone(), ClusterSpec::a9_k10(a9, k10));
+        let scale = ref_thru / m.peak_throughput();
+        let local = |u: f64| (u * scale).min(0.95);
+        let p95 = m.p95_response_time(local(steady)) * 1e3;
+        rows.push(Row {
+            name: label.into(),
+            epm: m.metrics().epm,
+            idle_w: m.idle_power_w(),
+            peak_w: m.busy_power_w(),
+            p95_steady_ms: p95,
+            p95_spiky_ms: p95, // always-on: spikes cost nothing extra
+            daily_kwh: daily_kwh(|u| m.power_at((u * scale).min(1.0))),
+        });
+    }
+
+    // Dynamic switching over the shed-brawny ladder.
+    let envelope = DynamicEnvelope::shed_brawny_ladder(&w, 32, 12);
+    let dyn_curve = envelope.power_curve(grid);
+    let p95_dyn = reference.p95_response_time(steady) * 1e3; // serves spikes at full strength
+    rows.push(Row {
+        name: "dynamic shed-brawny ladder".into(),
+        epm: energy_proportionality_metric(&dyn_curve, grid),
+        idle_w: envelope.serve(0.0).1,
+        peak_w: envelope.serve(1.0).1,
+        p95_steady_ms: p95_dyn,
+        p95_spiky_ms: p95_dyn,
+        daily_kwh: daily_kwh(|u| envelope.serve(u).1),
+    });
+
+    // Sleep-managed homogeneous K10 cluster (the §I strawman).
+    let sleepers = SleepManagedCluster::homogeneous(&w, "K10", 16, SleepPolicy::barely_alive());
+    let sleep_scale = ref_thru / sleepers.model.peak_throughput();
+    rows.push(Row {
+        name: "sleep-managed 16 K10 (barely-alive)".into(),
+        epm: energy_proportionality_metric(&sleepers.power_curve(grid), grid),
+        idle_w: sleepers.power_at(0.0),
+        peak_w: sleepers.power_at(1.0),
+        p95_steady_ms: sleepers.p95_response_time((steady * sleep_scale).min(0.95), 0.0) * 1e3,
+        p95_spiky_ms: sleepers.p95_response_time((steady * sleep_scale).min(0.95), 0.5) * 1e3,
+        daily_kwh: daily_kwh(|u| sleepers.power_at((u * sleep_scale).min(1.0))),
+    });
+
+    let mut table = vec![vec![
+        "Strategy".to_string(),
+        "EPM".into(),
+        "idle [W]".into(),
+        "peak [W]".into(),
+        "p95@30% [ms]".into(),
+        "p95 spiky [ms]".into(),
+        "daily [kWh]".into(),
+    ]];
+    for r in &rows {
+        table.push(vec![
+            r.name.clone(),
+            format!("{:.2}", r.epm),
+            format!("{:.0}", r.idle_w),
+            format!("{:.0}", r.peak_w),
+            format!("{:.1}", r.p95_steady_ms),
+            format!("{:.1}", r.p95_spiky_ms),
+            format!("{:.2}", r.daily_kwh),
+        ]);
+    }
+    if opts.csv {
+        print!("{}", render_csv(&table));
+    } else {
+        print!("{}", render_table(&table));
+        println!(
+            "\nReading guide: EPM > 1 means sub-linear on average. Sleep wins the power\n\
+             columns but loses the spiky-p95 column (the paper's §I argument); the\n\
+             sub-linear heterogeneous mix and the dynamic ladder keep p95 flat while\n\
+             cutting energy — the paper's thesis, extended."
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! `enprop` — regenerate every table and figure of the CLUSTER'16 paper
+//! *"On Energy Proportionality and Time-Energy Performance of
+//! Heterogeneous Clusters"* from the reproduction library.
+
+mod commands;
+mod output;
+
+use commands::{characterize_cmd, explore_cmds, figures, strategies, tables, Opts};
+
+const USAGE: &str = "\
+enprop — energy proportionality of heterogeneous clusters (CLUSTER'16 reproduction)
+
+USAGE: enprop <COMMAND> [OPTIONS]
+
+Experiment commands (one per paper artifact):
+  table4        Cluster validation errors (model vs simulated testbed)
+  table5        Node type specifications
+  table6        Performance-to-power ratios per node type
+  table7        Single-node energy proportionality metrics
+  table8        Cluster-wide energy proportionality (1 kW budget)
+  fig2          Metric-relationship diagram data
+  pg            Proportionality-gap PG(u) table per system
+  fig5          Single-node proportionality curves (EP, x264, blackscholes)
+  fig6          Single-node PPR curves
+  fig7          Cluster-wide proportionality of the budget mixes
+  fig8          Cluster-wide PPR of the budget mixes
+  fig9          Proportionality of Pareto configurations (EP)
+  fig10         Proportionality of Pareto configurations (x264)
+  fig11         p95 response time of heterogeneous mixes (EP)
+  fig12         p95 response time of heterogeneous mixes (x264)
+  all           Run every table and figure in order
+
+Exploration commands:
+  footnote4     Configuration-space size (paper's 36,380 example)
+  dynamic       Extension: dynamic configuration-switching envelope
+  ablation      Extension: quadratic power-curve ablation (Hsu & Poole)
+  pareto        Energy-deadline Pareto frontier  [--a9 N] [--k10 N]
+  search        Extension: heuristic sweet-spot search  --deadline SECS
+  trace         Simulated power-meter trace  [--utilization X]
+  export        Dump the evaluated configuration space as CSV  [--a9 N] [--k10 N]
+  strategies    Extension: all energy strategies side by side
+  sweet         Min-energy config under a deadline  --deadline SECS [--a9 N] [--k10 N]
+
+Characterization commands:
+  kernels       Run the real workload kernels on this host  [--scale X]
+  power         Micro-benchmark power characterization of simulated nodes
+
+Options:
+  --workload W  Workload override (EP, memcached, x264, blackscholes, Julius, RSA-2048)
+  --csv         Emit CSV instead of tables/ASCII plots
+  --samples N   Simulation samples per measurement (default 5)
+  --seed S      RNG seed (default 7)
+  --a9 N        Max/count of A9 nodes for exploration commands (default 32)
+  --k10 N       Max/count of K10 nodes for exploration commands (default 12)
+  --deadline S  Deadline in seconds for `sweet`
+  --scale X     Kernel size multiplier for `kernels` (default 0.2)
+";
+
+fn parse_flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else {
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    };
+
+    let mut opts = Opts {
+        csv: args.iter().any(|a| a == "--csv"),
+        ..Opts::default()
+    };
+    if let Some(s) = parse_flag(&args, "--samples") {
+        opts.samples = s.parse().expect("--samples takes an integer");
+    }
+    if let Some(s) = parse_flag(&args, "--seed") {
+        opts.seed = s.parse().expect("--seed takes an integer");
+    }
+    opts.workload = parse_flag(&args, "--workload");
+    let a9: u32 = parse_flag(&args, "--a9").map_or(32, |s| s.parse().expect("--a9 int"));
+    let k10: u32 = parse_flag(&args, "--k10").map_or(12, |s| s.parse().expect("--k10 int"));
+    let scale: f64 = parse_flag(&args, "--scale").map_or(0.2, |s| s.parse().expect("--scale f64"));
+
+    match cmd.as_str() {
+        "table4" => tables::table4_cmd(&opts),
+        "table5" => tables::table5_cmd(&opts),
+        "table6" => tables::table6_cmd(&opts),
+        "table7" => tables::table7_cmd(&opts),
+        "table8" => tables::table8_cmd(&opts),
+        "fig2" => figures::fig2_cmd(&opts),
+        "pg" => figures::pg_cmd(&opts),
+        "fig5" => figures::fig5_cmd(&opts),
+        "fig6" => figures::fig6_cmd(&opts),
+        "fig7" => figures::fig7_cmd(&opts),
+        "fig8" => figures::fig8_cmd(&opts),
+        "fig9" => figures::fig9_cmd(&opts, "EP"),
+        "fig10" => figures::fig9_cmd(&opts, "x264"),
+        "fig11" => figures::fig11_cmd(&opts, "EP"),
+        "fig12" => figures::fig11_cmd(&opts, "x264"),
+        "footnote4" => explore_cmds::footnote4_cmd(&opts),
+        "dynamic" => figures::dynamic_cmd(&opts),
+        "ablation" => figures::ablation_cmd(&opts),
+        "pareto" => explore_cmds::pareto_cmd(&opts, a9, k10),
+        "search" => {
+            let deadline: f64 = parse_flag(&args, "--deadline").map_or_else(
+                || {
+                    eprintln!("search requires --deadline SECS");
+                    std::process::exit(2);
+                },
+                |s| s.parse().expect("--deadline f64"),
+            );
+            explore_cmds::search_cmd(&opts, a9, k10, deadline);
+        }
+        "strategies" => strategies::strategies_cmd(&opts),
+        "export" => explore_cmds::export_cmd(&opts, a9, k10),
+        "trace" => {
+            let u: f64 = parse_flag(&args, "--utilization")
+                .map_or(0.6, |s| s.parse().expect("--utilization f64"));
+            explore_cmds::trace_cmd(&opts, u);
+        }
+        "sweet" => {
+            let deadline: f64 = parse_flag(&args, "--deadline")
+                .map_or_else(
+                    || {
+                        eprintln!("sweet requires --deadline SECS");
+                        std::process::exit(2);
+                    },
+                    |s| s.parse().expect("--deadline f64"),
+                );
+            explore_cmds::sweet_cmd(&opts, a9, k10, deadline);
+        }
+        "kernels" => characterize_cmd::kernels_cmd(&opts, scale),
+        "power" => characterize_cmd::power_cmd(&opts),
+        "all" => {
+            tables::table4_cmd(&opts);
+            println!();
+            tables::table5_cmd(&opts);
+            println!();
+            tables::table6_cmd(&opts);
+            println!();
+            tables::table7_cmd(&opts);
+            println!();
+            tables::table8_cmd(&opts);
+            println!();
+            figures::fig2_cmd(&opts);
+            println!();
+            figures::fig5_cmd(&opts);
+            figures::fig6_cmd(&opts);
+            figures::fig7_cmd(&opts);
+            println!();
+            figures::fig8_cmd(&opts);
+            println!();
+            figures::fig9_cmd(&opts, "EP");
+            println!();
+            figures::fig9_cmd(&opts, "x264");
+            println!();
+            figures::fig11_cmd(&opts, "EP");
+            println!();
+            figures::fig11_cmd(&opts, "x264");
+            println!();
+            explore_cmds::footnote4_cmd(&opts);
+            println!();
+            figures::dynamic_cmd(&opts);
+            println!();
+            figures::ablation_cmd(&opts);
+            println!();
+            strategies::strategies_cmd(&opts);
+        }
+        "--help" | "-h" | "help" => print!("{USAGE}"),
+        other => {
+            eprintln!("unknown command: {other}\n");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! End-to-end tests of the `enprop` binary: run real subcommands and
+//! check the regenerated numbers in the output.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_enprop"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn table7_prints_paper_numbers() {
+    let (stdout, _, ok) = run(&["table7"]);
+    assert!(ok);
+    // The EP row of Table 7, exactly as the paper prints the DPRs.
+    assert!(stdout.contains("25.97"), "{stdout}");
+    assert!(stdout.contains("34.57"));
+    assert!(stdout.contains("41.19"), "RSA K10 DPR missing");
+}
+
+#[test]
+fn table7_csv_is_machine_readable() {
+    let (stdout, _, ok) = run(&["table7", "--csv"]);
+    assert!(ok);
+    let lines: Vec<&str> = stdout.lines().filter(|l| l.contains(',')).collect();
+    // Header + six workload rows.
+    assert_eq!(lines.len(), 7, "{stdout}");
+    assert!(lines[1].starts_with("EP,25.97,34.57"));
+}
+
+#[test]
+fn footnote4_reports_36380() {
+    let (stdout, _, ok) = run(&["footnote4"]);
+    assert!(ok);
+    assert!(stdout.contains("36380") || stdout.contains("36,380"), "{stdout}");
+}
+
+#[test]
+fn fig9_draws_all_five_mixes() {
+    let (stdout, _, ok) = run(&["fig9"]);
+    assert!(ok);
+    for label in ["32 A9 : 12 K10", "25 A9 : 10 K10", "25 A9 : 8 K10", "25 A9 : 7 K10", "25 A9 : 5 K10"] {
+        assert!(stdout.contains(label), "missing {label}");
+    }
+    assert!(stdout.contains("Ideal"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let (_, stderr, ok) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+    assert!(stderr.contains("USAGE"));
+}
+
+#[test]
+fn unknown_workload_fails_cleanly() {
+    let (_, stderr, ok) = run(&["fig5", "--workload", "doom"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown workload"));
+}
+
+#[test]
+fn help_lists_every_paper_artifact() {
+    let (stdout, _, ok) = run(&["help"]);
+    assert!(ok);
+    for cmd in [
+        "table4", "table5", "table6", "table7", "table8", "fig2", "fig5", "fig6", "fig7",
+        "fig8", "fig9", "fig10", "fig11", "fig12", "footnote4", "pareto", "sweet", "search",
+        "dynamic", "ablation", "strategies", "kernels", "power", "trace", "export", "pg",
+    ] {
+        assert!(stdout.contains(cmd), "usage missing {cmd}");
+    }
+}
+
+#[test]
+fn export_emits_the_full_space() {
+    let (stdout, _, ok) = run(&["export", "--a9", "1", "--k10", "1"]);
+    assert!(ok);
+    // 1·4·5 = 20 A9 tuples, 1·6·3 = 18 K10 tuples → 21·19 − 1 = 398 rows.
+    let data_rows = stdout.lines().skip(1).filter(|l| !l.is_empty()).count();
+    assert_eq!(data_rows, 398, "{stdout}");
+    assert!(stdout.lines().next().unwrap().starts_with("workload,a9,k10"));
+    // The frontier flag must be present on at least one row.
+    assert!(stdout.contains(",true"));
+}

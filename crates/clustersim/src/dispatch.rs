@@ -1,0 +1,147 @@
+//! The front-end dispatcher (paper Fig. 3): Poisson job arrivals queue at
+//! a dispatcher and the cluster serves them FIFO, one job at a time (each
+//! job is a scale-out program occupying every leaf node).
+//!
+//! This realizes the M/D/1 assumption of §II-B against *simulated* service
+//! times — which wobble with OS jitter, so the queue is really M/G/1 with
+//! a small service variance. Tests confirm the M/D/1 closed forms stay
+//! accurate, which is the paper's justification for using them.
+
+use crate::run::ClusterSim;
+use enprop_queueing::{exact_quantile, OnlineStats};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a dispatcher-queue simulation.
+#[derive(Debug, Clone)]
+pub struct ClusterQueueResult {
+    /// Response-time statistics (wait + service), seconds.
+    pub response: OnlineStats,
+    /// All response-time samples (post-warmup), for exact quantiles.
+    pub samples: Vec<f64>,
+    /// Measured utilization.
+    pub utilization: f64,
+}
+
+impl ClusterQueueResult {
+    /// Exact response-time quantile, seconds.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        exact_quantile(&self.samples, q)
+    }
+}
+
+/// Dispatcher queue simulation over simulated cluster service times.
+#[derive(Debug)]
+pub struct ClusterQueueSim {
+    service_pool: Vec<f64>,
+    mean_service: f64,
+}
+
+impl ClusterQueueSim {
+    /// Pre-simulate `pool` distinct jobs on the cluster to build an
+    /// empirical service-time distribution.
+    pub fn new(sim: &ClusterSim<'_>, pool: usize, seed: u64) -> Self {
+        assert!(pool >= 1);
+        let service_pool: Vec<f64> = (0..pool)
+            .map(|i| sim.run_job(seed.wrapping_add(i as u64 * 104_729)).duration)
+            .collect();
+        let mean_service = service_pool.iter().sum::<f64>() / pool as f64;
+        ClusterQueueSim {
+            service_pool,
+            mean_service,
+        }
+    }
+
+    /// Mean simulated service time, seconds.
+    pub fn mean_service(&self) -> f64 {
+        self.mean_service
+    }
+
+    /// Run `jobs` Poisson arrivals at the arrival rate that offers
+    /// `utilization`, discarding `warmup` jobs.
+    pub fn run(&self, utilization: f64, jobs: usize, warmup: usize, seed: u64) -> ClusterQueueResult {
+        assert!(
+            utilization > 0.0 && utilization < 1.0,
+            "utilization must be in (0, 1)"
+        );
+        let lambda = utilization / self.mean_service;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut clock = 0.0f64;
+        let mut server_free = 0.0f64;
+        let mut response = OnlineStats::new();
+        let mut samples = Vec::with_capacity(jobs);
+        let mut busy = 0.0;
+        let mut first = 0.0;
+        for i in 0..jobs + warmup {
+            clock += -(1.0 - rng.gen::<f64>()).ln() / lambda;
+            let service = self.service_pool[rng.gen_range(0..self.service_pool.len())];
+            let start = clock.max(server_free);
+            server_free = start + service;
+            if i >= warmup {
+                if i == warmup {
+                    first = clock;
+                }
+                let r = server_free - clock;
+                response.push(r);
+                samples.push(r);
+                busy += service;
+            }
+        }
+        let horizon = (server_free - first).max(f64::MIN_POSITIVE);
+        ClusterQueueResult {
+            response,
+            samples,
+            utilization: (busy / horizon).min(1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterSpec;
+    use crate::run::ClusterSim;
+    use enprop_queueing::{Queue, MD1};
+    use enprop_workloads::catalog;
+
+    #[test]
+    fn dispatcher_matches_md1_closed_form() {
+        let w = catalog::by_name("EP").unwrap();
+        let c = ClusterSpec::a9_k10(8, 4);
+        let sim = ClusterSim::new(&w, &c);
+        let q = ClusterQueueSim::new(&sim, 16, 7);
+        let res = q.run(0.7, 60_000, 5_000, 11);
+        let md1 = MD1::from_utilization(q.mean_service(), 0.7);
+        let rel = (res.response.mean() - md1.mean_response_time()).abs()
+            / md1.mean_response_time();
+        assert!(rel < 0.08, "mean response off by {rel}");
+        let p95_sim = res.quantile(0.95).unwrap();
+        let p95_md1 = md1.response_time_quantile(0.95);
+        let rel = (p95_sim - p95_md1).abs() / p95_md1;
+        assert!(rel < 0.10, "p95 off by {rel}: {p95_sim} vs {p95_md1}");
+    }
+
+    #[test]
+    fn response_time_explodes_toward_saturation() {
+        let w = catalog::by_name("EP").unwrap();
+        let c = ClusterSpec::a9_k10(4, 2);
+        let sim = ClusterSim::new(&w, &c);
+        let q = ClusterQueueSim::new(&sim, 8, 3);
+        let lo = q.run(0.3, 20_000, 2_000, 5);
+        let hi = q.run(0.95, 20_000, 2_000, 5);
+        assert!(
+            hi.response.mean() > 3.0 * lo.response.mean(),
+            "queueing delay must dominate at high load"
+        );
+    }
+
+    #[test]
+    fn measured_utilization_tracks_target() {
+        let w = catalog::by_name("blackscholes").unwrap();
+        let c = ClusterSpec::a9_k10(4, 2);
+        let sim = ClusterSim::new(&w, &c);
+        let q = ClusterQueueSim::new(&sim, 8, 1);
+        let res = q.run(0.6, 40_000, 4_000, 2);
+        assert!((res.utilization - 0.6).abs() < 0.03, "u = {}", res.utilization);
+    }
+}

@@ -1,0 +1,488 @@
+//! Executing jobs on a simulated cluster and observing utilization-driven
+//! power (paper §II-B: utilization is varied by varying the number of jobs
+//! in an observation interval `T`).
+
+use crate::cluster::ClusterSpec;
+use crate::split::{rate_matched_split, WorkSplit};
+use enprop_workloads::Workload;
+use enprop_nodesim::NodeSim;
+
+/// Result of running one job across the whole cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterJobRun {
+    /// Job wall-clock time (slowest node), seconds.
+    pub duration: f64,
+    /// Total energy across all nodes for the job window, joules
+    /// (early-finishing nodes idle until the slowest node completes).
+    pub energy: f64,
+    /// Operations executed.
+    pub ops: f64,
+}
+
+/// One point of an observation sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// Requested utilization.
+    pub target_utilization: f64,
+    /// Achieved utilization (quantized by whole jobs).
+    pub utilization: f64,
+    /// Jobs executed in the interval.
+    pub jobs: u64,
+    /// Average cluster power over the interval, watts.
+    pub avg_power_w: f64,
+    /// Total energy over the interval, joules.
+    pub energy: f64,
+    /// Delivered throughput over the interval, ops/s.
+    pub throughput: f64,
+}
+
+/// Simulator binding one workload to one cluster.
+#[derive(Debug)]
+pub struct ClusterSim<'a> {
+    workload: &'a Workload,
+    cluster: &'a ClusterSpec,
+    split: WorkSplit,
+}
+
+impl<'a> ClusterSim<'a> {
+    /// Build the simulator (computes the rate-matched split once).
+    pub fn new(workload: &'a Workload, cluster: &'a ClusterSpec) -> Self {
+        let split = rate_matched_split(workload, cluster);
+        ClusterSim {
+            workload,
+            cluster,
+            split,
+        }
+    }
+
+    /// The rate-matched split in use.
+    pub fn split(&self) -> &WorkSplit {
+        &self.split
+    }
+
+    /// Run one job of `ops_per_job` operations; every node simulated
+    /// individually with its own seed.
+    pub fn run_job(&self, seed: u64) -> ClusterJobRun {
+        let ops = self.workload.ops_per_job;
+        let mut node_runs = Vec::new();
+        for (gi, g) in self.cluster.groups.iter().enumerate() {
+            if g.count == 0 {
+                continue;
+            }
+            let profile = self.workload.profile_or_panic(g.spec.name);
+            let sim = NodeSim::new(profile.spec.clone());
+            let node_ops = self.split.ops_per_node[gi] * ops;
+            let work = self.workload.node_work(profile, node_ops);
+            for ni in 0..g.count {
+                let node_seed = seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add((gi as u64) << 32 | ni as u64);
+                let run = sim.run(&work, g.cores, g.freq, &profile.frictions, node_seed);
+                node_runs.push((g.spec.power.sys_idle_w, run));
+            }
+        }
+        let duration = node_runs
+            .iter()
+            .map(|(_, r)| r.duration)
+            .fold(0.0f64, f64::max);
+        // Early finishers idle until the job completes on the slowest node.
+        let energy: f64 = node_runs
+            .iter()
+            .map(|(idle_w, r)| r.energy.total() + (duration - r.duration) * idle_w)
+            .sum();
+        ClusterJobRun {
+            duration,
+            energy,
+            ops,
+        }
+    }
+
+    /// Average of `n` simulated jobs (distinct seeds).
+    pub fn sample_jobs(&self, n: usize, seed: u64) -> ClusterJobRun {
+        assert!(n > 0);
+        let mut dur = 0.0;
+        let mut energy = 0.0;
+        for i in 0..n {
+            let r = self.run_job(seed.wrapping_add(i as u64 * 7919));
+            dur += r.duration;
+            energy += r.energy;
+        }
+        ClusterJobRun {
+            duration: dur / n as f64,
+            energy: energy / n as f64,
+            ops: self.workload.ops_per_job,
+        }
+    }
+
+    /// Observe the cluster for `period` seconds at a target utilization:
+    /// the dispatcher admits `⌊u·T / T_job⌋` jobs back-to-back and the
+    /// cluster idles the rest of the interval (the paper's methodology for
+    /// sweeping the x-axis of Figs. 5–10).
+    pub fn observe(&self, target_utilization: f64, period: f64, seed: u64) -> Observation {
+        assert!(
+            (0.0..=1.0).contains(&target_utilization),
+            "utilization must be in [0, 1]"
+        );
+        assert!(period > 0.0);
+        let mean = self.sample_jobs(5, seed);
+        let jobs = (target_utilization * period / mean.duration).floor() as u64;
+        let busy = jobs as f64 * mean.duration;
+        assert!(
+            busy <= period * (1.0 + 1e-9),
+            "observation interval too short for the requested load"
+        );
+        let idle_energy = (period - busy).max(0.0) * self.cluster.idle_w();
+        let energy = jobs as f64 * mean.energy + idle_energy;
+        Observation {
+            target_utilization,
+            utilization: busy / period,
+            jobs,
+            avg_power_w: energy / period,
+            energy,
+            throughput: jobs as f64 * mean.ops / period,
+        }
+    }
+
+    /// Sweep utilization over `points` evenly spaced levels in
+    /// `(0, 1]` and return `(utilization, avg_power_w)` samples — the
+    /// simulated counterpart of the model's power curve.
+    ///
+    /// The observation `period` is sized automatically to hold ≥ 100 jobs
+    /// at full load so utilization quantization stays below 1%.
+    pub fn power_samples(&self, points: usize, seed: u64) -> Vec<(f64, f64)> {
+        assert!(points >= 2);
+        let mean = self.sample_jobs(5, seed);
+        let period = mean.duration * 100.0;
+        (0..=points)
+            .map(|i| {
+                let u = i as f64 / points as f64;
+                let o = self.observe(u, period, seed);
+                (o.utilization, o.avg_power_w)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enprop_workloads::catalog;
+
+    #[test]
+    fn job_runs_are_deterministic_per_seed() {
+        let w = catalog::by_name("EP").unwrap();
+        let c = ClusterSpec::a9_k10(4, 2);
+        let sim = ClusterSim::new(&w, &c);
+        let a = sim.run_job(1);
+        let b = sim.run_job(1);
+        assert_eq!(a, b);
+        assert_ne!(a, sim.run_job(2));
+    }
+
+    #[test]
+    fn zero_utilization_is_pure_idle() {
+        let w = catalog::by_name("EP").unwrap();
+        let c = ClusterSpec::a9_k10(4, 2);
+        let sim = ClusterSim::new(&w, &c);
+        let o = sim.observe(0.0, 10.0, 1);
+        assert_eq!(o.jobs, 0);
+        assert!((o.avg_power_w - c.idle_w()).abs() < 1e-9);
+        assert_eq!(o.throughput, 0.0);
+    }
+
+    #[test]
+    fn power_grows_with_utilization() {
+        let w = catalog::by_name("blackscholes").unwrap();
+        let c = ClusterSpec::a9_k10(4, 2);
+        let sim = ClusterSim::new(&w, &c);
+        let samples = sim.power_samples(10, 3);
+        for pair in samples.windows(2) {
+            assert!(
+                pair[1].1 >= pair[0].1 - 1e-6,
+                "power decreased: {pair:?}"
+            );
+        }
+        // Endpoints: idle power at u = 0; above idle at u = 1.
+        assert!((samples[0].1 - c.idle_w()).abs() < 1e-9);
+        assert!(samples.last().unwrap().1 > c.idle_w() * 1.05);
+    }
+
+    #[test]
+    fn throughput_scales_with_utilization() {
+        let w = catalog::by_name("EP").unwrap();
+        let c = ClusterSpec::a9_k10(8, 2);
+        let sim = ClusterSim::new(&w, &c);
+        let mean = sim.sample_jobs(5, 1);
+        let period = mean.duration * 200.0;
+        let half = sim.observe(0.5, period, 1);
+        let full = sim.observe(0.99, period, 1);
+        let ratio = full.throughput / half.throughput;
+        assert!((ratio - 2.0).abs() < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn observation_respects_quantization() {
+        let w = catalog::by_name("x264").unwrap();
+        let c = ClusterSpec::a9_k10(4, 2);
+        let sim = ClusterSim::new(&w, &c);
+        let mean = sim.sample_jobs(3, 9);
+        let period = mean.duration * 10.0; // small interval: coarse quanta
+        let o = sim.observe(0.55, period, 9);
+        assert!(o.utilization <= 0.55 + 1e-9);
+        assert!(o.jobs == 5, "jobs {}", o.jobs);
+    }
+
+    #[test]
+    fn homogeneous_cluster_energy_scales_with_node_count() {
+        let w = catalog::by_name("EP").unwrap();
+        let c1 = ClusterSpec::a9_k10(4, 0);
+        let c2 = ClusterSpec::a9_k10(8, 0);
+        let s1 = ClusterSim::new(&w, &c1).sample_jobs(5, 1);
+        let s2 = ClusterSim::new(&w, &c2).sample_jobs(5, 1);
+        // Twice the nodes: half the time, similar busy energy (same total
+        // work, double idle-rate but half duration).
+        assert!((s1.duration / s2.duration - 2.0).abs() < 0.1);
+        assert!((s2.energy / s1.energy - 1.0).abs() < 0.1);
+    }
+}
+
+/// A step-function power trace: `(start_time, watts)` segments covering an
+/// observation interval (what a Yokogawa WT210 log of the simulated
+/// cluster would look like).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerTrace {
+    /// Segment starts and power levels; the last segment ends at `period`.
+    pub segments: Vec<(f64, f64)>,
+    /// Total interval length, seconds.
+    pub period: f64,
+}
+
+impl PowerTrace {
+    /// Energy as the integral of the trace, joules.
+    pub fn energy(&self) -> f64 {
+        let mut total = 0.0;
+        for (i, &(t0, w)) in self.segments.iter().enumerate() {
+            let t1 = self
+                .segments
+                .get(i + 1)
+                .map_or(self.period, |&(t, _)| t);
+            total += w * (t1 - t0);
+        }
+        total
+    }
+
+    /// Mean power over the interval, watts.
+    pub fn mean_power(&self) -> f64 {
+        self.energy() / self.period
+    }
+}
+
+impl ClusterSim<'_> {
+    /// A power trace of one observation interval at the target
+    /// utilization: jobs run back-to-back from t = 0 (each a busy segment
+    /// at its measured average power), then the cluster idles.
+    pub fn power_trace(&self, target_utilization: f64, period: f64, seed: u64) -> PowerTrace {
+        let o = self.observe(target_utilization, period, seed);
+        let mut segments = Vec::new();
+        let mut t = 0.0;
+        for j in 0..o.jobs {
+            let run = self.run_job(seed.wrapping_add(j * 7919));
+            segments.push((t, run.energy / run.duration));
+            t += run.duration;
+        }
+        if t < period {
+            segments.push((t, self.cluster.idle_w()));
+        }
+        PowerTrace { segments, period }
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use enprop_workloads::catalog;
+
+    #[test]
+    fn trace_integral_is_consistent_with_observation() {
+        let w = catalog::by_name("EP").unwrap();
+        let c = ClusterSpec::a9_k10(4, 2);
+        let sim = ClusterSim::new(&w, &c);
+        let mean = sim.sample_jobs(5, 3);
+        let period = mean.duration * 50.0;
+        let o = sim.observe(0.6, period, 3);
+        let trace = sim.power_trace(0.6, period, 3);
+        // The observation uses the 5-job average; the trace simulates each
+        // job individually — agreement within the job-to-job jitter.
+        let rel = (trace.energy() - o.energy).abs() / o.energy;
+        assert!(rel < 0.02, "trace {} vs observation {}", trace.energy(), o.energy);
+        assert!((trace.mean_power() - o.avg_power_w).abs() / o.avg_power_w < 0.02);
+    }
+
+    #[test]
+    fn idle_trace_is_one_flat_segment() {
+        let w = catalog::by_name("EP").unwrap();
+        let c = ClusterSpec::a9_k10(2, 1);
+        let sim = ClusterSim::new(&w, &c);
+        let trace = sim.power_trace(0.0, 5.0, 1);
+        assert_eq!(trace.segments.len(), 1);
+        assert_eq!(trace.segments[0], (0.0, c.idle_w()));
+        assert!((trace.energy() - 5.0 * c.idle_w()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_segments_draw_more_than_idle() {
+        let w = catalog::by_name("RSA-2048").unwrap();
+        let c = ClusterSpec::a9_k10(4, 2);
+        let sim = ClusterSim::new(&w, &c);
+        let mean = sim.sample_jobs(3, 9);
+        let trace = sim.power_trace(0.5, mean.duration * 20.0, 9);
+        let idle = c.idle_w();
+        let busy_segments = trace.segments.len() - 1;
+        assert!(busy_segments >= 9, "got {busy_segments}");
+        for &(_, w) in &trace.segments[..busy_segments] {
+            assert!(w > idle, "busy segment at {w} W vs idle {idle} W");
+        }
+    }
+}
+
+/// Outcome of a job run under fail-stop node faults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultyJobRun {
+    /// The composed run (including recovery re-execution).
+    pub run: ClusterJobRun,
+    /// Nodes that failed during the job.
+    pub failures: u32,
+}
+
+impl ClusterSim<'_> {
+    /// Run one job under fail-stop faults: each node independently fails
+    /// during the job with probability `p_fail`. A failed node's share is
+    /// re-executed, spread across the survivors after the main wave
+    /// completes (the scale-out recovery pattern: straggler shares are
+    /// re-dispatched). Failed nodes stop drawing dynamic power but keep
+    /// idling (fail-stop, not power-off).
+    ///
+    /// With `p_fail = 0` this is exactly [`ClusterSim::run_job`].
+    pub fn run_job_with_failures(&self, p_fail: f64, seed: u64) -> FaultyJobRun {
+        assert!((0.0..=1.0).contains(&p_fail), "probability in [0, 1]");
+        let base = self.run_job(seed);
+        if p_fail == 0.0 {
+            return FaultyJobRun {
+                run: base,
+                failures: 0,
+            };
+        }
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xFA11_FA11);
+
+        // Which nodes fail, and how much of their share must be redone
+        // (uniform failure instant → uniform lost fraction).
+        let mut lost_ops = 0.0;
+        let mut failures = 0u32;
+        let mut surviving_rate = 0.0;
+        for (gi, g) in self.cluster.groups.iter().enumerate() {
+            for _ in 0..g.count {
+                let share_ops = self.split.ops_per_node[gi] * self.workload.ops_per_job;
+                if rng.gen::<f64>() < p_fail {
+                    failures += 1;
+                    lost_ops += share_ops * rng.gen::<f64>();
+                } else {
+                    surviving_rate += self.split.node_rate[gi];
+                }
+            }
+        }
+        if failures == 0 {
+            return FaultyJobRun {
+                run: base,
+                failures: 0,
+            };
+        }
+        assert!(
+            surviving_rate > 0.0,
+            "every node failed; the job cannot complete"
+        );
+        // Recovery wave: survivors re-execute the lost share at their
+        // aggregate rate; the cluster idles nothing during recovery.
+        let recovery_time = lost_ops / surviving_rate;
+        let recovery_power = self.cluster.idle_w()
+            + (base.energy / base.duration - self.cluster.idle_w())
+                * (surviving_rate / self.split.cluster_rate);
+        FaultyJobRun {
+            run: ClusterJobRun {
+                duration: base.duration + recovery_time,
+                energy: base.energy + recovery_time * recovery_power,
+                ops: base.ops,
+            },
+            failures,
+        }
+    }
+}
+
+#[cfg(test)]
+mod failure_tests {
+    use super::*;
+    use enprop_workloads::catalog;
+
+    #[test]
+    fn zero_probability_is_the_plain_run() {
+        let w = catalog::by_name("EP").unwrap();
+        let c = ClusterSpec::a9_k10(4, 2);
+        let sim = ClusterSim::new(&w, &c);
+        let f = sim.run_job_with_failures(0.0, 7);
+        assert_eq!(f.failures, 0);
+        assert_eq!(f.run, sim.run_job(7));
+    }
+
+    #[test]
+    fn failures_cost_time_and_energy() {
+        let w = catalog::by_name("blackscholes").unwrap();
+        let c = ClusterSpec::a9_k10(8, 4);
+        let sim = ClusterSim::new(&w, &c);
+        let base = sim.run_job(3);
+        // p = 1: every node fails somewhere mid-job — but then no
+        // survivors exist, so use p large but < 1 and a seed that yields
+        // both failures and survivors.
+        let f = sim.run_job_with_failures(0.5, 3);
+        assert!(f.failures > 0, "seed should produce failures");
+        assert!(f.run.duration > base.duration);
+        assert!(f.run.energy > base.energy);
+    }
+
+    #[test]
+    fn failure_cost_grows_with_probability() {
+        let w = catalog::by_name("EP").unwrap();
+        let c = ClusterSpec::a9_k10(16, 4);
+        let sim = ClusterSim::new(&w, &c);
+        // Average across seeds to smooth the Bernoulli noise.
+        let avg = |p: f64| -> f64 {
+            (0..20)
+                .map(|s| sim.run_job_with_failures(p, s).run.duration)
+                .sum::<f64>()
+                / 20.0
+        };
+        let lo = avg(0.05);
+        let hi = avg(0.4);
+        assert!(hi > lo, "duration must grow with failure rate: {lo} vs {hi}");
+    }
+
+    #[test]
+    #[should_panic(expected = "every node failed")]
+    fn total_failure_is_rejected() {
+        let w = catalog::by_name("EP").unwrap();
+        let c = ClusterSpec::a9_k10(1, 0);
+        let sim = ClusterSim::new(&w, &c);
+        // With one node and p = 1 the job can never finish.
+        let _ = sim.run_job_with_failures(1.0, 1);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let w = catalog::by_name("EP").unwrap();
+        let c = ClusterSpec::a9_k10(8, 2);
+        let sim = ClusterSim::new(&w, &c);
+        let a = sim.run_job_with_failures(0.3, 9);
+        let b = sim.run_job_with_failures(0.3, 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,124 @@
+//! Rate-matched work splitting (paper §II-D): "the amount of workload
+//! executed by nodes of different types is determined by matching the
+//! execution rates among the different types of nodes, such that all nodes
+//! finish executing at the same time".
+
+use crate::cluster::ClusterSpec;
+use enprop_workloads::{SingleNodeModel, Workload};
+
+/// How a job's operations are divided across the cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkSplit {
+    /// Operations assigned to *each node* of group `i`.
+    pub ops_per_node: Vec<f64>,
+    /// Modeled execution rate of one node of group `i`, ops/s.
+    pub node_rate: Vec<f64>,
+    /// Total cluster execution rate, ops/s.
+    pub cluster_rate: f64,
+}
+
+impl WorkSplit {
+    /// Modeled service time for a job of `ops` operations (all nodes
+    /// finish together by construction).
+    pub fn service_time(&self, ops: f64) -> f64 {
+        ops / self.cluster_rate
+    }
+}
+
+/// Compute the rate-matched split of `workload` over `cluster`.
+///
+/// # Panics
+/// Panics when the cluster is empty or a node type lacks a calibrated
+/// profile for the workload.
+pub fn rate_matched_split(workload: &Workload, cluster: &ClusterSpec) -> WorkSplit {
+    let mut node_rate = Vec::with_capacity(cluster.groups.len());
+    let mut cluster_rate = 0.0;
+    for g in &cluster.groups {
+        if g.count == 0 {
+            node_rate.push(0.0);
+            continue;
+        }
+        let profile = workload.profile_or_panic(g.spec.name);
+        let model = SingleNodeModel::new(&profile.spec, &profile.demand, workload.io_rate);
+        let rate = model.throughput(g.cores, g.freq);
+        node_rate.push(rate);
+        cluster_rate += g.count as f64 * rate;
+    }
+    assert!(
+        cluster_rate > 0.0,
+        "cluster has no capacity for workload {}",
+        workload.name
+    );
+    let ops_per_node = node_rate.iter().map(|r| r / cluster_rate).collect();
+    WorkSplit {
+        ops_per_node,
+        node_rate,
+        cluster_rate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterSpec;
+    use enprop_workloads::catalog;
+
+    #[test]
+    fn shares_sum_to_one_over_nodes() {
+        let w = catalog::by_name("EP").unwrap();
+        let c = ClusterSpec::a9_k10(32, 12);
+        let s = rate_matched_split(&w, &c);
+        let total: f64 = s
+            .ops_per_node
+            .iter()
+            .zip(&c.groups)
+            .map(|(share, g)| share * g.count as f64)
+            .sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_node_types_finish_together() {
+        let w = catalog::by_name("blackscholes").unwrap();
+        let c = ClusterSpec::a9_k10(10, 5);
+        let s = rate_matched_split(&w, &c);
+        let ops = w.ops_per_job;
+        // time for a node of group i = assigned ops / its rate
+        let times: Vec<f64> = s
+            .ops_per_node
+            .iter()
+            .zip(&s.node_rate)
+            .filter(|(_, r)| **r > 0.0)
+            .map(|(share, rate)| share * ops / rate)
+            .collect();
+        for t in &times {
+            assert!((t - times[0]).abs() < 1e-12 * times[0]);
+        }
+        assert!((times[0] - s.service_time(ops)).abs() < 1e-12 * times[0]);
+    }
+
+    #[test]
+    fn faster_nodes_get_more_work() {
+        let w = catalog::by_name("EP").unwrap();
+        let c = ClusterSpec::a9_k10(1, 1);
+        let s = rate_matched_split(&w, &c);
+        // K10 runs EP ~6.6× faster per node than A9 (Table 6 inversion).
+        assert!(s.ops_per_node[1] > 4.0 * s.ops_per_node[0]);
+    }
+
+    #[test]
+    fn homogeneous_split_is_even() {
+        let w = catalog::by_name("EP").unwrap();
+        let c = ClusterSpec::a9_k10(8, 0);
+        let s = rate_matched_split(&w, &c);
+        assert!((s.ops_per_node[0] - 1.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no capacity")]
+    fn empty_cluster_panics() {
+        let w = catalog::by_name("EP").unwrap();
+        let c = ClusterSpec::a9_k10(0, 0);
+        let _ = rate_matched_split(&w, &c);
+    }
+}

@@ -1,0 +1,46 @@
+//! # enprop-explore
+//!
+//! Heterogeneous configuration-space exploration (the methodology of the
+//! authors' prior work \[31] that this paper builds on, re-implemented
+//! because Figs. 9–12 consume its Pareto-optimal configurations):
+//!
+//! * **Space enumeration** — a configuration is one tuple per node type:
+//!   (number of nodes, active cores per node, core frequency). Ten ARM +
+//!   ten AMD nodes yield the paper's footnote-4 count of 36,380
+//!   configurations, which is a unit test here.
+//! * **Time-energy evaluation** — every configuration evaluated under the
+//!   Table-2 model, in parallel (rayon).
+//! * **Energy-deadline Pareto frontier** — the "sweet region" of
+//!   configurations that meet a deadline with minimum energy.
+//! * **Power budgeting** — nameplate filtering and the footnote-3
+//!   8:1 A9-per-K10 substitution arithmetic behind Figs. 7–8.
+//! * **Sub-linearity analysis** — which Pareto configurations fall below
+//!   the reference ideal line (§III-D) and what that costs in p95 response
+//!   time (§III-E).
+//! * **Dynamic switching** (extension) — the paper's §I notes dynamic
+//!   adaptation complements its static mapping; [`DynamicEnvelope`]
+//!   quantifies that complement.
+//! * **Heuristic search** (extension) — the space-reduction approach the
+//!   paper defers; [`local_search`] hill-climbs to the sweet spot in a
+//!   fraction of the enumeration cost.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod budget;
+mod dynamic;
+mod pareto;
+mod search;
+mod sleep;
+mod space;
+mod sublinear;
+mod sweet;
+
+pub use budget::{budget_mixes, substitution_ratio, PAPER_BUDGET_W};
+pub use dynamic::DynamicEnvelope;
+pub use pareto::{knee_point, pareto_front, pareto_indices};
+pub use search::{local_search, SearchResult};
+pub use sleep::{SleepManagedCluster, SleepPolicy};
+pub use space::{count_configurations, enumerate_configurations, evaluate_space, EvaluatedConfig, TypeSpace};
+pub use sublinear::{response_time_series, sublinear_report, SublinearReport};
+pub use sweet::{sweet_region, sweet_spot};

@@ -1,0 +1,187 @@
+//! Energy-deadline Pareto frontier (prior work [31]'s "sweet region"
+//! machinery): among all configurations, those not dominated in
+//! (execution time, energy).
+
+use crate::space::EvaluatedConfig;
+
+/// Indices of the Pareto-minimal items under the two keys produced by
+/// `key` (both minimized). O(n log n).
+///
+/// Ties: an item equal to a kept item in both keys is kept too (the
+/// frontier is a set of non-dominated points, and equal points do not
+/// dominate each other).
+/// ```
+/// use enprop_explore::pareto_indices;
+/// let pts = [(1.0, 5.0), (2.0, 3.0), (3.0, 4.0)];
+/// // (3.0, 4.0) is dominated by (2.0, 3.0).
+/// assert_eq!(pareto_indices(&pts, |p| *p), vec![0, 1]);
+/// ```
+pub fn pareto_indices<T, F>(items: &[T], key: F) -> Vec<usize>
+where
+    F: Fn(&T) -> (f64, f64),
+{
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    // Sort by first key ascending, second key ascending.
+    order.sort_by(|&a, &b| {
+        let (ta, ea) = key(&items[a]);
+        let (tb, eb) = key(&items[b]);
+        ta.total_cmp(&tb).then(ea.total_cmp(&eb))
+    });
+    let mut front = Vec::new();
+    let mut best_second = f64::INFINITY;
+    let mut last_kept: Option<(f64, f64)> = None;
+    for i in order {
+        let (t, e) = key(&items[i]);
+        if e < best_second {
+            best_second = e;
+            front.push(i);
+            last_kept = Some((t, e));
+        } else if let Some((lt, le)) = last_kept {
+            // keep exact duplicates of the last kept point
+            if t == lt && e == le {
+                front.push(i);
+            }
+        }
+    }
+    front
+}
+
+/// The energy-deadline Pareto frontier of an evaluated configuration
+/// space: minimal (job time, job energy). Returned sorted by time
+/// ascending.
+pub fn pareto_front(evald: &[EvaluatedConfig]) -> Vec<&EvaluatedConfig> {
+    pareto_indices(evald, |e| (e.job_time, e.job_energy))
+        .into_iter()
+        .map(|i| &evald[i])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominated_points_are_dropped() {
+        let pts = [(1.0, 5.0), (2.0, 3.0), (3.0, 4.0), (4.0, 1.0)];
+        let idx = pareto_indices(&pts, |p| *p);
+        // (3.0, 4.0) is dominated by (2.0, 3.0).
+        assert_eq!(idx, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn frontier_of_a_chain_is_everything() {
+        let pts = [(1.0, 4.0), (2.0, 3.0), (3.0, 2.0), (4.0, 1.0)];
+        assert_eq!(pareto_indices(&pts, |p| *p).len(), 4);
+    }
+
+    #[test]
+    fn single_point_is_its_own_frontier() {
+        let pts = [(1.0, 1.0)];
+        assert_eq!(pareto_indices(&pts, |p| *p), vec![0]);
+    }
+
+    #[test]
+    fn duplicates_are_both_kept() {
+        let pts = [(1.0, 2.0), (1.0, 2.0), (2.0, 1.0)];
+        let idx = pareto_indices(&pts, |p| *p);
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn no_frontier_point_is_dominated() {
+        // Pseudo-random cloud; verify the frontier property directly.
+        let mut pts = Vec::new();
+        let mut s = 12345u64;
+        for _ in 0..500 {
+            s ^= s >> 12;
+            s ^= s << 25;
+            s ^= s >> 27;
+            let a = (s >> 40) as f64;
+            s ^= s >> 12;
+            s ^= s << 25;
+            s ^= s >> 27;
+            let b = (s >> 40) as f64;
+            pts.push((a, b));
+        }
+        let idx = pareto_indices(&pts, |p| *p);
+        for &i in &idx {
+            for (j, q) in pts.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let p = pts[i];
+                let dominates = q.0 <= p.0 && q.1 <= p.1 && (q.0 < p.0 || q.1 < p.1);
+                assert!(!dominates, "{q:?} dominates frontier point {p:?}");
+            }
+        }
+        // And every non-frontier point is dominated by someone.
+        for (j, q) in pts.iter().enumerate() {
+            if idx.contains(&j) {
+                continue;
+            }
+            let dominated = pts.iter().enumerate().any(|(i, p)| {
+                i != j && p.0 <= q.0 && p.1 <= q.1 && (p.0 < q.0 || p.1 < q.1)
+            });
+            assert!(dominated, "{q:?} should be dominated");
+        }
+    }
+}
+
+/// The frontier's *knee*: the point closest (in normalized time-energy
+/// space) to the utopia point `(min time, min energy)` — the natural
+/// single recommendation when the operator has no hard deadline.
+///
+/// Returns `None` for an empty frontier. A single-point frontier is its
+/// own knee.
+pub fn knee_point<'a>(front: &[&'a EvaluatedConfig]) -> Option<&'a EvaluatedConfig> {
+    if front.is_empty() {
+        return None;
+    }
+    let t_min = front.iter().map(|e| e.job_time).fold(f64::INFINITY, f64::min);
+    let t_max = front.iter().map(|e| e.job_time).fold(0.0f64, f64::max);
+    let e_min = front.iter().map(|e| e.job_energy).fold(f64::INFINITY, f64::min);
+    let e_max = front.iter().map(|e| e.job_energy).fold(0.0f64, f64::max);
+    let t_span = (t_max - t_min).max(f64::MIN_POSITIVE);
+    let e_span = (e_max - e_min).max(f64::MIN_POSITIVE);
+    front
+        .iter()
+        .min_by(|a, b| {
+            let d = |e: &EvaluatedConfig| {
+                let dt = (e.job_time - t_min) / t_span;
+                let de = (e.job_energy - e_min) / e_span;
+                dt * dt + de * de
+            };
+            d(a).total_cmp(&d(b))
+        })
+        .copied()
+}
+
+#[cfg(test)]
+mod knee_tests {
+    use super::*;
+    use crate::space::{enumerate_configurations, evaluate_space, TypeSpace};
+    use enprop_workloads::catalog;
+
+    #[test]
+    fn knee_is_on_the_frontier_and_balanced() {
+        let w = catalog::by_name("EP").unwrap();
+        let types = [TypeSpace::a9(4), TypeSpace::k10(2)];
+        let evald = evaluate_space(&w, enumerate_configurations(&types));
+        let front = pareto_front(&evald);
+        let knee = knee_point(&front).unwrap();
+        // The knee is neither the time extreme nor the energy extreme
+        // (those sit at the normalized corners, distance 1 from utopia).
+        assert!(knee.job_time > front[0].job_time);
+        assert!(knee.job_energy > front.last().unwrap().job_energy);
+    }
+
+    #[test]
+    fn degenerate_frontiers() {
+        assert!(knee_point(&[]).is_none());
+        let w = catalog::by_name("EP").unwrap();
+        let types = [TypeSpace::k10(1)];
+        let evald = evaluate_space(&w, enumerate_configurations(&types));
+        let front = pareto_front(&evald);
+        assert!(knee_point(&front).is_some());
+    }
+}

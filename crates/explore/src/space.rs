@@ -1,0 +1,222 @@
+//! Configuration-space enumeration and parallel time-energy evaluation.
+
+use enprop_clustersim::{ClusterSpec, NodeGroup, SwitchOverhead};
+use enprop_core::ClusterModel;
+use enprop_nodesim::NodeSpec;
+use enprop_workloads::Workload;
+use rayon::prelude::*;
+
+/// The per-type extent of the configuration space: up to `max_nodes` nodes
+/// of `spec`, every active-core count and every DVFS level.
+#[derive(Debug, Clone)]
+pub struct TypeSpace {
+    /// Node hardware type.
+    pub spec: NodeSpec,
+    /// Maximum number of nodes of this type (`n_max` in Table 1).
+    pub max_nodes: u32,
+    /// Interconnect overhead for budget math, if any.
+    pub switch: Option<SwitchOverhead>,
+}
+
+impl TypeSpace {
+    /// A9 space with the paper's switch overhead.
+    pub fn a9(max_nodes: u32) -> Self {
+        TypeSpace {
+            spec: NodeSpec::cortex_a9(),
+            max_nodes,
+            switch: Some(SwitchOverhead::paper_a9()),
+        }
+    }
+
+    /// K10 space.
+    pub fn k10(max_nodes: u32) -> Self {
+        TypeSpace {
+            spec: NodeSpec::opteron_k10(),
+            max_nodes,
+            switch: None,
+        }
+    }
+
+    /// Cortex-A15 space (extended node type).
+    pub fn a15(max_nodes: u32) -> Self {
+        TypeSpace {
+            spec: NodeSpec::cortex_a15(),
+            max_nodes,
+            switch: Some(SwitchOverhead::paper_a9()),
+        }
+    }
+
+    /// Xeon E5 space (extended node type).
+    pub fn xeon(max_nodes: u32) -> Self {
+        TypeSpace {
+            spec: NodeSpec::xeon_e5(),
+            max_nodes,
+            switch: None,
+        }
+    }
+
+    /// Number of non-empty tuples this type contributes:
+    /// `n_max × cores × |frequencies|`.
+    pub fn tuple_count(&self) -> u64 {
+        self.max_nodes as u64 * self.spec.cores as u64 * self.spec.frequencies.len() as u64
+    }
+}
+
+/// Closed-form size of the configuration space over `types`
+/// (each type absent or one of its tuples; minus the all-absent case):
+///
+/// ```text
+/// Π_i (1 + n_max,i · c_max,i · |F_i|) − 1
+/// ```
+pub fn count_configurations(types: &[TypeSpace]) -> u64 {
+    let product: u64 = types.iter().map(|t| 1 + t.tuple_count()).product();
+    product - 1
+}
+
+/// Materialize every configuration in the space.
+pub fn enumerate_configurations(types: &[TypeSpace]) -> Vec<ClusterSpec> {
+    // Per-type choice lists: None (absent) or Some(group).
+    let mut choices: Vec<Vec<Option<NodeGroup>>> = Vec::with_capacity(types.len());
+    for t in types {
+        let mut opts = vec![None];
+        for n in 1..=t.max_nodes {
+            for c in 1..=t.spec.cores {
+                for &f in &t.spec.frequencies {
+                    opts.push(Some(NodeGroup {
+                        spec: t.spec.clone(),
+                        count: n,
+                        cores: c,
+                        freq: f,
+                        switch: t.switch,
+                    }));
+                }
+            }
+        }
+        choices.push(opts);
+    }
+    // Cartesian product, skipping the all-absent configuration.
+    let mut out = Vec::new();
+    let mut idx = vec![0usize; choices.len()];
+    loop {
+        let groups: Vec<NodeGroup> = idx
+            .iter()
+            .enumerate()
+            .filter_map(|(ti, &ci)| choices[ti][ci].clone())
+            .collect();
+        if !groups.is_empty() {
+            out.push(ClusterSpec::new(groups));
+        }
+        // Odometer increment.
+        let mut t = 0;
+        loop {
+            if t == choices.len() {
+                return out;
+            }
+            idx[t] += 1;
+            if idx[t] < choices[t].len() {
+                break;
+            }
+            idx[t] = 0;
+            t += 1;
+        }
+    }
+}
+
+/// A configuration with its modeled time-energy outcome.
+#[derive(Debug, Clone)]
+pub struct EvaluatedConfig {
+    /// The configuration.
+    pub cluster: ClusterSpec,
+    /// Modeled job service time, seconds.
+    pub job_time: f64,
+    /// Modeled job energy, joules.
+    pub job_energy: f64,
+    /// Cluster busy power, watts.
+    pub busy_power_w: f64,
+    /// Cluster idle power, watts.
+    pub idle_power_w: f64,
+    /// Nameplate power (budget accounting, includes switches), watts.
+    pub nameplate_w: f64,
+}
+
+/// Evaluate every configuration under the Table-2 model, in parallel.
+pub fn evaluate_space(workload: &Workload, configs: Vec<ClusterSpec>) -> Vec<EvaluatedConfig> {
+    configs
+        .into_par_iter()
+        .map(|cluster| {
+            let nameplate_w = cluster.nameplate_w();
+            let idle_power_w = cluster.idle_w();
+            let model = ClusterModel::new(workload.clone(), cluster);
+            EvaluatedConfig {
+                job_time: model.job_time(),
+                job_energy: model.job_energy(),
+                busy_power_w: model.busy_power_w(),
+                idle_power_w,
+                nameplate_w,
+                cluster: model.cluster().clone(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enprop_workloads::catalog;
+
+    #[test]
+    fn footnote4_count_is_36380() {
+        // 10 ARM (5 freqs × 4 cores) + 10 AMD (3 freqs × 6 cores):
+        // 36,000 mixed + 200 ARM-only + 180 AMD-only.
+        let types = [TypeSpace::a9(10), TypeSpace::k10(10)];
+        assert_eq!(count_configurations(&types), 36_380);
+    }
+
+    #[test]
+    fn enumeration_matches_closed_form_on_small_spaces() {
+        let types = [TypeSpace::a9(2), TypeSpace::k10(1)];
+        let n = count_configurations(&types);
+        let configs = enumerate_configurations(&types);
+        assert_eq!(configs.len() as u64, n);
+        // 2·4·5 = 40 A9 tuples, 1·6·3 = 18 K10 tuples → 41·19 − 1 = 778.
+        assert_eq!(n, 778);
+        // No configuration is empty.
+        assert!(configs.iter().all(|c| c.node_count() > 0));
+    }
+
+    #[test]
+    fn single_type_space_has_no_empty_config() {
+        let types = [TypeSpace::k10(3)];
+        let configs = enumerate_configurations(&types);
+        assert_eq!(configs.len() as u64, count_configurations(&types));
+        assert_eq!(configs.len(), 3 * 6 * 3);
+    }
+
+    #[test]
+    fn evaluation_covers_every_config() {
+        let w = catalog::by_name("EP").unwrap();
+        let types = [TypeSpace::a9(2), TypeSpace::k10(1)];
+        let configs = enumerate_configurations(&types);
+        let n = configs.len();
+        let evald = evaluate_space(&w, configs);
+        assert_eq!(evald.len(), n);
+        for e in &evald {
+            assert!(e.job_time > 0.0 && e.job_energy > 0.0);
+            assert!(e.busy_power_w > e.idle_power_w);
+        }
+    }
+
+    #[test]
+    fn more_hardware_is_never_slower() {
+        let w = catalog::by_name("blackscholes").unwrap();
+        let small = evaluate_space(
+            &w,
+            vec![ClusterSpec::a9_k10(4, 1)],
+        );
+        let big = evaluate_space(
+            &w,
+            vec![ClusterSpec::a9_k10(8, 2)],
+        );
+        assert!(big[0].job_time < small[0].job_time);
+    }
+}

@@ -1,0 +1,94 @@
+//! The "sweet region": configurations meeting an execution-time deadline
+//! with (near-)minimum energy — prior work [31]'s selection rule that this
+//! paper's Figs. 9–12 start from.
+
+use crate::space::EvaluatedConfig;
+
+/// The minimum-energy configuration meeting `deadline` seconds, if any.
+pub fn sweet_spot(evald: &[EvaluatedConfig], deadline: f64) -> Option<&EvaluatedConfig> {
+    evald
+        .iter()
+        .filter(|e| e.job_time <= deadline)
+        .min_by(|a, b| a.job_energy.total_cmp(&b.job_energy))
+}
+
+/// All configurations meeting `deadline` whose energy is within
+/// `(1 + tolerance)` of the minimum — the sweet *region*.
+pub fn sweet_region(
+    evald: &[EvaluatedConfig],
+    deadline: f64,
+    tolerance: f64,
+) -> Vec<&EvaluatedConfig> {
+    assert!(tolerance >= 0.0);
+    let Some(best) = sweet_spot(evald, deadline) else {
+        return Vec::new();
+    };
+    let cap = best.job_energy * (1.0 + tolerance);
+    evald
+        .iter()
+        .filter(|e| e.job_time <= deadline && e.job_energy <= cap)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{enumerate_configurations, evaluate_space, TypeSpace};
+    use enprop_workloads::catalog;
+
+    fn small_space() -> Vec<EvaluatedConfig> {
+        let w = catalog::by_name("EP").unwrap();
+        let types = [TypeSpace::a9(3), TypeSpace::k10(2)];
+        evaluate_space(&w, enumerate_configurations(&types))
+    }
+
+    #[test]
+    fn sweet_spot_meets_deadline_with_min_energy() {
+        let evald = small_space();
+        let fastest = evald
+            .iter()
+            .map(|e| e.job_time)
+            .fold(f64::INFINITY, f64::min);
+        let deadline = fastest * 3.0;
+        let best = sweet_spot(&evald, deadline).expect("feasible deadline");
+        assert!(best.job_time <= deadline);
+        for e in &evald {
+            if e.job_time <= deadline {
+                assert!(e.job_energy >= best.job_energy);
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_deadline_yields_nothing() {
+        let evald = small_space();
+        assert!(sweet_spot(&evald, 1e-12).is_none());
+        assert!(sweet_region(&evald, 1e-12, 0.1).is_empty());
+    }
+
+    #[test]
+    fn region_contains_spot_and_respects_tolerance() {
+        let evald = small_space();
+        let deadline = 1.0; // generous for this tiny EP job space
+        let best = sweet_spot(&evald, deadline).unwrap();
+        let region = sweet_region(&evald, deadline, 0.05);
+        assert!(!region.is_empty());
+        for e in &region {
+            assert!(e.job_time <= deadline);
+            assert!(e.job_energy <= best.job_energy * 1.05);
+        }
+        // Zero tolerance shrinks the region to exact minima.
+        let tight = sweet_region(&evald, deadline, 0.0);
+        assert!(tight.iter().all(|e| e.job_energy <= best.job_energy * (1.0 + 1e-12)));
+    }
+
+    #[test]
+    fn looser_deadlines_never_raise_the_energy_floor() {
+        let evald = small_space();
+        let e1 = sweet_spot(&evald, 0.2).map(|e| e.job_energy);
+        let e2 = sweet_spot(&evald, 2.0).map(|e| e.job_energy);
+        if let (Some(e1), Some(e2)) = (e1, e2) {
+            assert!(e2 <= e1);
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! The energy-proportionality metrics of Table 3.
+//!
+//! All metrics are derived from a [`PowerCurve`]. For the *linear* curves
+//! produced by the paper's analytic model the metrics collapse (as the paper
+//! observes in Section III-B): `EPM = 1 − IPR`, `DPR = (1 − IPR) × 100`, and
+//! the reported LDR equals the EPM up to rounding. The literal Table-3 LDR
+//! formula measures deviation from the chord joining `Pidle` to `Ppeak` and
+//! is therefore exactly zero for linear curves; both the literal value and
+//! the collapsed paper value are exposed here.
+
+use crate::curve::{IdealCurve, PowerCurve};
+use crate::integrate::{integrate, GridSpec};
+
+/// Dynamic Power Range: `100 − Pidle[% of peak]`, in percent.
+///
+/// A perfectly proportional system has DPR 100; a constant-power system has
+/// DPR 0. The energy proportionality wall of homogeneous servers sits around
+/// DPR 80 (Wong & Annavaram).
+pub fn dynamic_power_range<C: PowerCurve>(curve: &C) -> f64 {
+    100.0 * (1.0 - idle_to_peak_ratio(curve))
+}
+
+/// Idle-to-Peak power Ratio `Pidle / Ppeak` (dimensionless, `[0, 1]` for
+/// physical systems). Lower is better.
+pub fn idle_to_peak_ratio<C: PowerCurve>(curve: &C) -> f64 {
+    let peak = curve.peak();
+    if peak.abs() < crate::REL_EPS {
+        0.0
+    } else {
+        curve.idle() / peak
+    }
+}
+
+/// Energy Proportionality Metric (Ryckbosch et al.):
+///
+/// ```text
+/// EPM = 1 − (∫₀¹ P_server du − ∫₀¹ P_ideal du) / ∫₀¹ P_ideal du
+/// ```
+///
+/// `EPM = 1` for an ideal system, `0` for a constant-power system, and
+/// values *above* 1 indicate sub-linear proportionality (the curve dips
+/// below the ideal line on average).
+pub fn energy_proportionality_metric<C: PowerCurve>(curve: &C, grid: GridSpec) -> f64 {
+    let peak = curve.peak();
+    if peak.abs() < crate::REL_EPS {
+        // A zero-power system is trivially proportional.
+        return 1.0;
+    }
+    let ideal = IdealCurve::new(peak);
+    let area_server = integrate(|u| curve.power(u), grid);
+    let area_ideal = integrate(|u| ideal.power(u), grid);
+    1.0 - (area_server - area_ideal) / area_ideal
+}
+
+/// Literal Table-3 Linear Deviation Ratio (Varsamopoulos & Gupta): the
+/// signed relative deviation, largest in magnitude over utilization, of the
+/// curve from the *chord* `(Ppeak − Pidle)·u + Pidle`:
+///
+/// ```text
+/// LDR = P(u*) − chord(u*) / chord(u*),   u* = argmax |·|
+/// ```
+///
+/// Zero for linear curves (hence for every curve the paper's model
+/// produces), negative for sub-linear deviation, positive for super-linear.
+pub fn linear_deviation_ratio<C: PowerCurve>(curve: &C, grid: GridSpec) -> f64 {
+    let idle = curve.idle();
+    let peak = curve.peak();
+    let mut best = 0.0f64;
+    for u in grid.points() {
+        let chord = idle + (peak - idle) * u;
+        if chord.abs() < crate::REL_EPS {
+            continue;
+        }
+        let d = (curve.power(u) - chord) / chord;
+        if d.abs() > best.abs() {
+            best = d;
+        }
+    }
+    best
+}
+
+/// Proportionality Gap at utilization `u` (Wong & Annavaram):
+///
+/// ```text
+/// PG(u) = (P_server(u) − P_ideal(u)) / P_ideal(u)
+/// ```
+///
+/// Defined per utilization level (unlike the single-value metrics above);
+/// lower is more proportional, negative values mean the system is *below*
+/// ideal at that utilization (sub-linear). Returns `None` at `u = 0` where
+/// the ideal power is zero.
+pub fn proportionality_gap<C: PowerCurve>(curve: &C, u: f64) -> Option<f64> {
+    let u = u.clamp(0.0, 1.0);
+    let ideal = curve.peak() * u;
+    if ideal.abs() < crate::REL_EPS {
+        None
+    } else {
+        Some((curve.power(u) - ideal) / ideal)
+    }
+}
+
+/// All single-value proportionality metrics of a curve, plus the absolute
+/// powers the percentage metrics hide (the paper's §III-B point: metrics
+/// alone mislead when peak powers differ by an order of magnitude).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProportionalityMetrics {
+    /// Idle power, watts.
+    pub idle_w: f64,
+    /// Peak power, watts.
+    pub peak_w: f64,
+    /// Dynamic Power Range, percent.
+    pub dpr: f64,
+    /// Idle-to-Peak Ratio.
+    pub ipr: f64,
+    /// Energy Proportionality Metric.
+    pub epm: f64,
+    /// Literal chord-based Linear Deviation Ratio (0 for linear curves).
+    pub ldr_literal: f64,
+    /// The LDR value as the paper reports it: for the linear model curves
+    /// of the paper this collapses to `1 − IPR` (stated in §III-B); for
+    /// non-linear curves it is `EPM`-aligned via the same area collapse.
+    pub ldr: f64,
+}
+
+impl ProportionalityMetrics {
+    /// Compute every metric with the default integration grid.
+    pub fn of<C: PowerCurve>(curve: &C) -> Self {
+        Self::with_grid(curve, GridSpec::default())
+    }
+
+    /// Compute every metric on an explicit grid.
+    pub fn with_grid<C: PowerCurve>(curve: &C, grid: GridSpec) -> Self {
+        let ipr = idle_to_peak_ratio(curve);
+        let epm = energy_proportionality_metric(curve, grid);
+        ProportionalityMetrics {
+            idle_w: curve.idle(),
+            peak_w: curve.peak(),
+            dpr: dynamic_power_range(curve),
+            ipr,
+            epm,
+            ldr_literal: linear_deviation_ratio(curve, grid),
+            ldr: epm,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::{IdealCurve, LinearCurve, QuadraticCurve, SampledCurve};
+
+    const GRID: GridSpec = GridSpec { steps: 1000 };
+
+    #[test]
+    fn ideal_curve_metrics() {
+        let c = IdealCurve::new(100.0);
+        assert_eq!(dynamic_power_range(&c), 100.0);
+        assert_eq!(idle_to_peak_ratio(&c), 0.0);
+        assert!((energy_proportionality_metric(&c, GRID) - 1.0).abs() < 1e-9);
+        assert!(proportionality_gap(&c, 0.5).unwrap().abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_power_metrics() {
+        let c = LinearCurve::new(80.0, 80.0);
+        assert_eq!(dynamic_power_range(&c), 0.0);
+        assert_eq!(idle_to_peak_ratio(&c), 1.0);
+        assert!((energy_proportionality_metric(&c, GRID) - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_curve_collapse_identities() {
+        // The paper's §III-B observation: EPM = LDR(paper) = 1 − IPR and
+        // DPR = (1 − IPR)·100 for linear model curves.
+        let c = LinearCurve::new(45.0, 69.23);
+        let m = ProportionalityMetrics::of(&c);
+        assert!((m.epm - (1.0 - m.ipr)).abs() < 1e-9);
+        assert!((m.dpr - (1.0 - m.ipr) * 100.0).abs() < 1e-9);
+        assert!((m.ldr - m.epm).abs() < 1e-12);
+        assert!(m.ldr_literal.abs() < 1e-9, "chord deviation of a line is 0");
+    }
+
+    #[test]
+    fn paper_k10_ep_numbers() {
+        // K10 running EP: idle 45 W, IPR 0.65 → peak 69.23 W, DPR 34.57.
+        let c = LinearCurve::new(45.0, 69.23);
+        let m = ProportionalityMetrics::of(&c);
+        assert!((m.ipr - 0.65).abs() < 5e-3);
+        assert!((m.dpr - 34.57).abs() < 0.5);
+        assert!((m.epm - 0.35).abs() < 5e-3);
+    }
+
+    #[test]
+    fn pg_decreases_with_utilization_for_linear_curves() {
+        let c = LinearCurve::new(40.0, 100.0);
+        let pg30 = proportionality_gap(&c, 0.3).unwrap();
+        let pg60 = proportionality_gap(&c, 0.6).unwrap();
+        let pg90 = proportionality_gap(&c, 0.9).unwrap();
+        assert!(pg30 > pg60 && pg60 > pg90);
+        assert!(pg90 > 0.0, "linear curve with idle power stays above ideal");
+    }
+
+    #[test]
+    fn pg_undefined_at_zero_utilization() {
+        let c = LinearCurve::new(40.0, 100.0);
+        assert!(proportionality_gap(&c, 0.0).is_none());
+    }
+
+    #[test]
+    fn sublinear_curve_has_negative_pg_and_epm_above_one() {
+        // A curve that dips below the ideal line mid-range.
+        let c = SampledCurve::new(vec![(0.0, 0.0), (0.5, 20.0), (1.0, 100.0)]);
+        assert!(proportionality_gap(&c, 0.5).unwrap() < 0.0);
+        assert!(energy_proportionality_metric(&c, GRID) > 1.0);
+    }
+
+    #[test]
+    fn literal_ldr_sign_conventions() {
+        // Convex (positive curvature) dips below the chord → negative LDR.
+        let sub = QuadraticCurve::new(10.0, 100.0, 0.6);
+        assert!(linear_deviation_ratio(&sub, GRID) < 0.0);
+        // Concave bows above the chord → positive LDR.
+        let sup = QuadraticCurve::new(10.0, 100.0, -0.6);
+        assert!(linear_deviation_ratio(&sup, GRID) > 0.0);
+    }
+
+    #[test]
+    fn zero_peak_is_handled() {
+        let c = LinearCurve::new(0.0, 0.0);
+        assert_eq!(idle_to_peak_ratio(&c), 0.0);
+        assert_eq!(energy_proportionality_metric(&c, GRID), 1.0);
+    }
+}
+
+impl std::fmt::Display for ProportionalityMetrics {
+    /// A Table-7-style one-liner:
+    /// `DPR 34.57% | IPR 0.65 | EPM 0.35 | LDR 0.35 | idle 45.0 W / peak 69.2 W`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "DPR {:.2}% | IPR {:.2} | EPM {:.2} | LDR {:.2} | idle {:.1} W / peak {:.1} W",
+            self.dpr, self.ipr, self.epm, self.ldr, self.idle_w, self.peak_w
+        )
+    }
+}
+
+#[cfg(test)]
+mod display_tests {
+    use super::*;
+    use crate::curve::LinearCurve;
+
+    #[test]
+    fn display_reads_like_a_table_row() {
+        let m = ProportionalityMetrics::of(&LinearCurve::new(45.0, 69.23));
+        let s = m.to_string();
+        assert!(s.contains("DPR 34.99%") || s.contains("DPR 35.00%"), "{s}");
+        assert!(s.contains("idle 45.0 W"));
+        assert!(s.contains("peak 69.2 W"));
+    }
+}

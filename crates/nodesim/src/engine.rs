@@ -1,0 +1,149 @@
+//! A minimal discrete-event engine: a time-ordered event queue with
+//! deterministic FIFO tie-breaking.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event tagged with its firing time and an insertion sequence number
+/// (ties in time fire in insertion order, keeping runs deterministic).
+#[derive(Debug, Clone)]
+pub struct TimedEvent<E> {
+    /// Simulated firing time, seconds.
+    pub time: f64,
+    /// Monotonic insertion index (tie-breaker).
+    pub seq: u64,
+    /// Payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for TimedEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for TimedEvent<E> {}
+impl<E> PartialOrd for TimedEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for TimedEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Earliest-first event queue.
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<TimedEvent<E>>,
+    seq: u64,
+    now: f64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0.0,
+        }
+    }
+
+    /// Schedule `event` at absolute time `time` (must not be in the past).
+    pub fn schedule(&mut self, time: f64, event: E) {
+        debug_assert!(time.is_finite(), "event time must be finite");
+        debug_assert!(
+            time >= self.now - 1e-12 * self.now.abs().max(1.0),
+            "cannot schedule into the past: {time} < {}",
+            self.now
+        );
+        self.heap.push(TimedEvent {
+            time,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Pop the earliest event, advancing the simulation clock to it.
+    pub fn pop(&mut self) -> Option<TimedEvent<E>> {
+        let ev = self.heap.pop()?;
+        self.now = ev.time;
+        Some(ev)
+    }
+
+    /// Current simulated time (time of the last popped event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, "c");
+        q.schedule(1.0, "a");
+        q.schedule(2.0, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, "first");
+        q.schedule(1.0, "second");
+        q.schedule(1.0, "third");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, ["first", "second", "third"]);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), 0.0);
+        q.schedule(5.0, ());
+        q.schedule(7.0, ());
+        q.pop();
+        assert_eq!(q.now(), 5.0);
+        q.pop();
+        assert_eq!(q.now(), 7.0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn len_tracks_pending() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, 1);
+        q.schedule(2.0, 2);
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

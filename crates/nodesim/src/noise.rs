@@ -1,0 +1,95 @@
+//! Deterministic, seeded noise sources modeling OS scheduling jitter and
+//! power-meter measurement noise.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded multiplicative-jitter source.
+///
+/// Draws standard normal variates via Box–Muller and returns factors
+/// `max(1 + σ·z, floor)` so simulated durations and measured powers wobble
+/// realistically but never go non-positive.
+#[derive(Debug, Clone)]
+pub struct Jitter {
+    rng: SmallRng,
+    spare: Option<f64>,
+}
+
+impl Jitter {
+    /// New jitter stream from a seed.
+    pub fn new(seed: u64) -> Self {
+        Jitter {
+            rng: SmallRng::seed_from_u64(seed),
+            spare: None,
+        }
+    }
+
+    /// One standard normal variate (Box–Muller, with spare caching).
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Avoid ln(0) by sampling u1 from (0, 1].
+        let u1: f64 = 1.0 - self.rng.gen::<f64>();
+        let u2: f64 = self.rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Multiplicative factor `max(1 + σ·z, 0.05)`.
+    pub fn factor(&mut self, sigma: f64) -> f64 {
+        if sigma == 0.0 {
+            return 1.0;
+        }
+        (1.0 + sigma * self.standard_normal()).max(0.05)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_sigma_is_exact() {
+        let mut j = Jitter::new(1);
+        for _ in 0..100 {
+            assert_eq!(j.factor(0.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn seeded_streams_reproduce() {
+        let mut a = Jitter::new(42);
+        let mut b = Jitter::new(42);
+        for _ in 0..50 {
+            assert_eq!(a.factor(0.1), b.factor(0.1));
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut j = Jitter::new(7);
+        let n = 100_000;
+        let mut sum = 0.0;
+        let mut sq = 0.0;
+        for _ in 0..n {
+            let z = j.standard_normal();
+            sum += z;
+            sq += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn factors_stay_positive() {
+        let mut j = Jitter::new(3);
+        for _ in 0..10_000 {
+            assert!(j.factor(0.5) > 0.0);
+        }
+    }
+}

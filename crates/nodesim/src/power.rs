@@ -1,0 +1,148 @@
+//! Component power model and energy accounting (paper Table 1 power
+//! parameters and Table 2 energy equations).
+
+/// Per-component power parameters of a node type.
+///
+/// `core_act_w`/`core_stall_w` are per-core at the node's maximum frequency;
+/// DVFS scales them by `(f/fmax)^freq_exp` (voltage tracks frequency, so the
+/// exponent is near 2 for the voltage-frequency ladders of these parts).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerSpec {
+    /// Whole-system idle power (`P_sys,idle`), watts.
+    pub sys_idle_w: f64,
+    /// Per-core power while retiring work cycles (`P_CPU,act`) at fmax, watts.
+    pub core_act_w: f64,
+    /// Per-core power while stalled on memory (`P_CPU,stall`) at fmax, watts.
+    pub core_stall_w: f64,
+    /// Memory subsystem active power (`P_mem`), watts.
+    pub mem_w: f64,
+    /// NIC active power (`P_net`), watts.
+    pub net_w: f64,
+    /// DVFS power exponent: dynamic power ∝ `(f/fmax)^freq_exp`.
+    pub freq_exp: f64,
+}
+
+impl PowerSpec {
+    /// DVFS scaling factor for dynamic core power at frequency `f` given
+    /// the node's `fmax`.
+    pub fn dvfs_scale(&self, f: f64, fmax: f64) -> f64 {
+        (f / fmax).powf(self.freq_exp)
+    }
+
+    /// Per-core active power at frequency `f`, watts.
+    pub fn core_act_at(&self, f: f64, fmax: f64) -> f64 {
+        self.core_act_w * self.dvfs_scale(f, fmax)
+    }
+
+    /// Per-core stall power at frequency `f`, watts.
+    pub fn core_stall_at(&self, f: f64, fmax: f64) -> f64 {
+        self.core_stall_w * self.dvfs_scale(f, fmax)
+    }
+
+    /// System power with `cores` cores busy, a fraction `act_frac` of their
+    /// time in active (vs stalled) cycles, at frequency `f` — excluding
+    /// memory and NIC component power.
+    pub fn busy_power(&self, cores: u32, act_frac: f64, f: f64, fmax: f64) -> f64 {
+        let act = self.core_act_at(f, fmax);
+        let stall = self.core_stall_at(f, fmax);
+        self.sys_idle_w + cores as f64 * (act_frac * act + (1.0 - act_frac) * stall)
+    }
+}
+
+/// Energy consumed by one simulated run, split by component
+/// (the `E_CPU,act / E_CPU,stall / E_mem / E_net / E_idle` terms of Table 2).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Energy of active CPU cycles, joules.
+    pub cpu_act: f64,
+    /// Energy of stalled CPU cycles, joules.
+    pub cpu_stall: f64,
+    /// Memory subsystem energy, joules.
+    pub mem: f64,
+    /// Network subsystem energy, joules.
+    pub net: f64,
+    /// Idle (baseline) energy over the whole duration, joules.
+    pub idle: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy, joules.
+    pub fn total(&self) -> f64 {
+        self.cpu_act + self.cpu_stall + self.mem + self.net + self.idle
+    }
+
+    /// Scale every component (measurement-noise application).
+    pub fn scaled(&self, k: f64) -> Self {
+        EnergyBreakdown {
+            cpu_act: self.cpu_act * k,
+            cpu_stall: self.cpu_stall * k,
+            mem: self.mem * k,
+            net: self.net * k,
+            idle: self.idle * k,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> PowerSpec {
+        PowerSpec {
+            sys_idle_w: 10.0,
+            core_act_w: 2.0,
+            core_stall_w: 1.0,
+            mem_w: 0.5,
+            net_w: 0.25,
+            freq_exp: 2.0,
+        }
+    }
+
+    #[test]
+    fn dvfs_scaling_quadratic() {
+        let p = spec();
+        assert!((p.dvfs_scale(1.0e9, 2.0e9) - 0.25).abs() < 1e-12);
+        assert!((p.core_act_at(1.0e9, 2.0e9) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn busy_power_composition() {
+        let p = spec();
+        // 4 cores fully active at fmax: 10 + 4·2 = 18 W.
+        assert!((p.busy_power(4, 1.0, 2.0e9, 2.0e9) - 18.0).abs() < 1e-12);
+        // fully stalled: 10 + 4·1 = 14 W.
+        assert!((p.busy_power(4, 0.0, 2.0e9, 2.0e9) - 14.0).abs() < 1e-12);
+        // 50/50 mix: 16 W.
+        assert!((p.busy_power(4, 0.5, 2.0e9, 2.0e9) - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_breakdown_total_and_scale() {
+        let e = EnergyBreakdown {
+            cpu_act: 5.0,
+            cpu_stall: 1.0,
+            mem: 0.5,
+            net: 0.25,
+            idle: 10.0,
+        };
+        assert!((e.total() - 16.75).abs() < 1e-12);
+        let s = e.scaled(2.0);
+        assert!((s.total() - 33.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stall_power_below_active_power() {
+        for s in [
+            crate::NodeSpec::cortex_a9(),
+            crate::NodeSpec::opteron_k10(),
+            crate::NodeSpec::cortex_a15(),
+            crate::NodeSpec::xeon_e5(),
+        ] {
+            assert!(
+                s.power.core_stall_w < s.power.core_act_w,
+                "{}: stalled cores draw less than active cores",
+                s.name
+            );
+        }
+    }
+}

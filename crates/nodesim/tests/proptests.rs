@@ -1,0 +1,106 @@
+//! Property-based tests for simulator invariants.
+
+use enprop_nodesim::{Frictions, NodeSim, NodeSpec, NodeWork};
+use proptest::prelude::*;
+
+fn work_strategy() -> impl Strategy<Value = NodeWork> {
+    (
+        1.0e8f64..1.0e10,
+        0.0f64..1.0e9,
+        0.0f64..1.0e9,
+        0.0f64..1.0e7,
+    )
+        .prop_map(|(act, memc, memb, io)| NodeWork {
+            act_cycles: act,
+            mem_cycles: memc,
+            mem_bytes: memb,
+            io_bytes: io,
+            ..NodeWork::default()
+        })
+}
+
+proptest! {
+    /// Energy is exactly the integral of average power over the duration.
+    #[test]
+    fn energy_is_power_integral(work in work_strategy(), seed in 0u64..100) {
+        let sim = NodeSim::new(NodeSpec::cortex_a9());
+        let run = sim.run(&work, 4, 1.4e9, &Frictions::default(), seed);
+        prop_assert!((run.avg_power_w * run.duration - run.energy.total()).abs()
+            <= 1e-9 * run.energy.total().max(1.0));
+    }
+
+    /// More work never takes less time or energy (friction-free).
+    #[test]
+    fn monotone_in_work(work in work_strategy(), k in 1.05f64..4.0) {
+        let sim = NodeSim::new(NodeSpec::opteron_k10());
+        let small = sim.run(&work, 6, 2.1e9, &Frictions::default(), 0);
+        let big = sim.run(&work.scaled(k), 6, 2.1e9, &Frictions::default(), 0);
+        prop_assert!(big.duration >= small.duration - 1e-12);
+        prop_assert!(big.energy.total() >= small.energy.total() - 1e-9);
+    }
+
+    /// Lower frequency never shortens a run (friction-free).
+    #[test]
+    fn slower_clock_is_never_faster(work in work_strategy()) {
+        let spec = NodeSpec::cortex_a9();
+        let sim = NodeSim::new(spec.clone());
+        let mut prev = f64::INFINITY;
+        for &f in spec.frequencies.iter() {
+            // ascending frequency → non-increasing duration
+            let run = sim.run(&work, 4, f, &Frictions::default(), 0);
+            prop_assert!(run.duration <= prev * (1.0 + 1e-12),
+                "duration grew when frequency rose: f={f}");
+            prev = run.duration;
+        }
+    }
+
+    /// Friction effects never make a run faster than the ideal model.
+    #[test]
+    fn frictions_never_speed_up(
+        work in work_strategy(),
+        ov in 0.5f64..1.0,
+        imb in 0.0f64..0.2,
+        eff in 0.5f64..1.0,
+    ) {
+        let sim = NodeSim::new(NodeSpec::cortex_a9());
+        let ideal = sim.run(&work, 4, 1.4e9, &Frictions::default(), 0);
+        let fr = Frictions {
+            ooo_overlap: ov,
+            sched_imbalance: imb,
+            io_efficiency: eff,
+            ..Frictions::default()
+        };
+        let rough = sim.run(&work, 4, 1.4e9, &fr, 0);
+        prop_assert!(rough.duration >= ideal.duration - 1e-12);
+    }
+
+    /// Every energy component is non-negative and the breakdown is
+    /// internally consistent under any jitter.
+    #[test]
+    fn energy_components_non_negative(
+        work in work_strategy(),
+        jit in 0.0f64..0.1,
+        seed in 0u64..50,
+    ) {
+        let sim = NodeSim::new(NodeSpec::opteron_k10());
+        let fr = Frictions { os_jitter: jit, meter_noise: 0.02, ..Frictions::default() };
+        let run = sim.run(&work, 3, 1.45e9, &fr, seed);
+        let e = run.energy;
+        prop_assert!(e.cpu_act >= 0.0 && e.cpu_stall >= 0.0 && e.mem >= 0.0
+            && e.net >= 0.0 && e.idle >= 0.0);
+        prop_assert!((e.cpu_act + e.cpu_stall + e.mem + e.net + e.idle - e.total()).abs()
+            < 1e-9 * e.total().max(1.0));
+    }
+
+    /// Splitting work across two equal halves run back-to-back costs the
+    /// same total busy time as one run (work conservation).
+    #[test]
+    fn work_splits_conserve_time(act in 1.0e9f64..1.0e10) {
+        let sim = NodeSim::new(NodeSpec::cortex_a9());
+        let whole = NodeWork { act_cycles: act, ..Default::default() };
+        let half = NodeWork { act_cycles: act / 2.0, ..Default::default() };
+        let w = sim.run(&whole, 4, 1.4e9, &Frictions::default(), 0);
+        let h = sim.run(&half, 4, 1.4e9, &Frictions::default(), 0);
+        prop_assert!((w.duration - 2.0 * h.duration).abs() < 1e-9 * w.duration);
+    }
+}

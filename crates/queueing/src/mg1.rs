@@ -1,0 +1,94 @@
+//! M/G/1: Poisson arrivals, general service — the Pollaczek–Khinchine mean
+//! formulas parameterized by the squared coefficient of variation of the
+//! service time. M/D/1 (`scv = 0`) and M/M/1 (`scv = 1`) are special cases,
+//! which gives the test suite a three-way consistency check.
+
+use crate::Queue;
+
+/// An M/G/1 queue described by arrival rate, mean service time and the
+/// squared coefficient of variation (`scv = Var[S]/E[S]²`) of service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MG1 {
+    /// Arrival rate, jobs/second.
+    pub lambda: f64,
+    /// Mean service time, seconds.
+    pub mean_service: f64,
+    /// Squared coefficient of variation of the service time (≥ 0).
+    pub scv: f64,
+}
+
+impl MG1 {
+    /// Build an M/G/1 queue.
+    ///
+    /// # Panics
+    /// Panics unless `λ ≥ 0`, `E[S] > 0`, `scv ≥ 0` and `ρ < 1`.
+    pub fn new(lambda: f64, mean_service: f64, scv: f64) -> Self {
+        assert!(
+            lambda >= 0.0 && mean_service > 0.0 && scv >= 0.0,
+            "invalid parameters"
+        );
+        let q = MG1 {
+            lambda,
+            mean_service,
+            scv,
+        };
+        assert!(q.rho() < 1.0, "unstable: rho = {}", q.rho());
+        q
+    }
+
+    /// Build from a target utilization `u ∈ [0, 1)`.
+    pub fn from_utilization(mean_service: f64, scv: f64, u: f64) -> Self {
+        assert!((0.0..1.0).contains(&u), "utilization must be in [0, 1)");
+        Self::new(u / mean_service, mean_service, scv)
+    }
+}
+
+impl Queue for MG1 {
+    fn rho(&self) -> f64 {
+        self.lambda * self.mean_service
+    }
+    fn mean_wait(&self) -> f64 {
+        // PK: Wq = ρ·E[S]·(1 + scv) / (2(1 − ρ))
+        let rho = self.rho();
+        rho * self.mean_service * (1.0 + self.scv) / (2.0 * (1.0 - rho))
+    }
+    fn mean_response_time(&self) -> f64 {
+        self.mean_wait() + self.mean_service
+    }
+    fn mean_queue_length(&self) -> f64 {
+        self.lambda * self.mean_wait()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MD1, MM1};
+
+    #[test]
+    fn scv_zero_matches_md1() {
+        let g = MG1::from_utilization(0.02, 0.0, 0.75);
+        let d = MD1::from_utilization(0.02, 0.75);
+        assert!((g.mean_wait() - d.mean_wait()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scv_one_matches_mm1() {
+        let g = MG1::from_utilization(0.02, 1.0, 0.75);
+        let m = MM1::from_utilization(0.02, 0.75);
+        assert!((g.mean_wait() - m.mean_wait()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wait_grows_with_service_variability() {
+        let lo = MG1::from_utilization(0.1, 0.2, 0.8);
+        let hi = MG1::from_utilization(0.1, 4.0, 0.8);
+        assert!(hi.mean_wait() > lo.mean_wait());
+    }
+
+    #[test]
+    fn littles_law_consistency() {
+        let g = MG1::from_utilization(0.05, 0.5, 0.6);
+        assert!((g.mean_queue_length() - g.lambda * g.mean_wait()).abs() < 1e-12);
+    }
+}

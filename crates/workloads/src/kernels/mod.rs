@@ -1,0 +1,24 @@
+//! Executable kernels: real Rust implementations of each paper workload's
+//! computational core.
+//!
+//! These are not simulations — they compute actual results (option prices,
+//! motion vectors, modular exponentiations, …) and are used three ways:
+//! by the host-characterization pipeline ([`crate::characterize`]), by the
+//! repository's examples, and by the Criterion kernel benchmarks.
+
+pub mod blackscholes;
+pub mod ep;
+pub mod julius;
+pub mod kvstore;
+pub mod rsa;
+pub mod x264;
+
+/// Outcome of running a kernel: how much work it did and a checksum that
+/// keeps the optimizer honest and makes runs comparable across hosts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelStats {
+    /// Operations completed, in the workload's natural unit.
+    pub ops: u64,
+    /// Order-insensitive checksum of the results.
+    pub checksum: f64,
+}

@@ -1,0 +1,224 @@
+//! The single-node analytic time-energy model (the per-node rows of the
+//! paper's Table 2), evaluated from a calibrated [`OpDemand`].
+//!
+//! The cluster-level aggregation (`T_P = max_i T_i`, `E_P = Σ E_i·n_i`)
+//! lives in `enprop-core`; this module provides the `T_i` / `E_i` terms a
+//! single node contributes.
+
+use crate::demand::OpDemand;
+use enprop_nodesim::{EnergyBreakdown, NodeSpec};
+
+/// Table-2 time terms for one node executing a batch of operations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelTime {
+    /// `T_core = cycles_core / (c · f)`, seconds.
+    pub core: f64,
+    /// `T_mem = cycles_mem / f`, seconds (node-wide; UMA controller).
+    pub mem: f64,
+    /// `T_CPU = max(T_core, T_mem)` (out-of-order overlap), seconds.
+    pub cpu: f64,
+    /// `T_I/O = max(T_transfer, requests/λ)`, seconds.
+    pub io: f64,
+    /// `T_i = max(T_CPU, T_I/O)` (DMA overlap), seconds.
+    pub total: f64,
+}
+
+/// Analytic model of one node type running one workload profile.
+#[derive(Debug, Clone)]
+pub struct SingleNodeModel<'a> {
+    /// The node's hardware spec.
+    pub spec: &'a NodeSpec,
+    /// Calibrated per-op demand.
+    pub demand: &'a OpDemand,
+    /// Per-node request ceiling `λ_I/O` (requests/s; 0 = unconstrained).
+    pub io_rate: f64,
+}
+
+impl<'a> SingleNodeModel<'a> {
+    /// Build a model; panics on non-positive demand fields.
+    pub fn new(spec: &'a NodeSpec, demand: &'a OpDemand, io_rate: f64) -> Self {
+        assert!(
+            demand.cycles_per_op >= 0.0
+                && demand.mem_cycles_per_op >= 0.0
+                && demand.io_bytes_per_op >= 0.0,
+            "demands must be non-negative"
+        );
+        SingleNodeModel {
+            spec,
+            demand,
+            io_rate,
+        }
+    }
+
+    /// Time terms for `ops` operations on `c` active cores at `f` Hz.
+    pub fn time(&self, ops: f64, c: u32, f: f64) -> ModelTime {
+        let d = self.demand;
+        let core = d.cycles_per_op * ops / (c as f64 * f);
+        let mem = d.mem_cycles_per_op * ops / f;
+        let cpu = core.max(mem);
+        let transfer = d.io_bytes_per_op * ops / self.spec.net_bandwidth;
+        let arrival = if self.io_rate > 0.0 {
+            d.io_requests_per_op * ops / self.io_rate
+        } else {
+            0.0
+        };
+        let io = transfer.max(arrival);
+        ModelTime {
+            core,
+            mem,
+            cpu,
+            io,
+            total: cpu.max(io),
+        }
+    }
+
+    /// Energy for `ops` operations on `c` cores at `f` Hz (Table 2 energy
+    /// rows for one node).
+    pub fn energy(&self, ops: f64, c: u32, f: f64) -> EnergyBreakdown {
+        let t = self.time(ops, c, f);
+        let p = &self.spec.power;
+        let fmax = self.spec.fmax();
+        // Core-seconds of active execution; the rest of `c·T_CPU` is stall.
+        let act_cs = self.demand.cycles_per_op * ops / f;
+        let stall_cs = (c as f64 * t.cpu - act_cs).max(0.0);
+        EnergyBreakdown {
+            cpu_act: act_cs * p.core_act_at(f, fmax) * self.demand.act_power_scale,
+            cpu_stall: stall_cs * p.core_stall_at(f, fmax),
+            mem: t.mem * p.mem_w,
+            net: t.io * p.net_w,
+            idle: t.total * p.sys_idle_w,
+        }
+    }
+
+    /// Average power while executing (busy power), watts. This is the
+    /// `P_peak` of the workload on this node — the quantity Table 7's IPR
+    /// is computed against.
+    pub fn busy_power(&self, c: u32, f: f64) -> f64 {
+        // Per-op quantities scale out: use ops = 1.
+        let t = self.time(1.0, c, f);
+        if t.total == 0.0 {
+            return self.spec.power.sys_idle_w;
+        }
+        self.energy(1.0, c, f).total() / t.total
+    }
+
+    /// Peak throughput (ops/second) at the operating point — the inverse
+    /// of the per-op time.
+    pub fn throughput(&self, c: u32, f: f64) -> f64 {
+        let t = self.time(1.0, c, f);
+        if t.total == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / t.total
+        }
+    }
+
+    /// Performance-to-power ratio at full utilization, (ops/s)/W — the
+    /// paper's Table 6 metric.
+    pub fn ppr(&self, c: u32, f: f64) -> f64 {
+        self.throughput(c, f) / self.busy_power(c, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::OpDemand;
+
+    #[test]
+    fn compute_bound_time_scales_with_cores_and_frequency() {
+        let spec = NodeSpec::cortex_a9();
+        let d = OpDemand::compute_only(1.4e6);
+        let m = SingleNodeModel::new(&spec, &d, 0.0);
+        // 1000 ops · 1.4e6 cyc / (4 · 1.4 GHz) = 0.25 s
+        let t = m.time(1000.0, 4, 1.4e9);
+        assert!((t.total - 0.25).abs() < 1e-12);
+        let t1 = m.time(1000.0, 1, 1.4e9);
+        assert!((t1.total - 1.0).abs() < 1e-12);
+        let tslow = m.time(1000.0, 4, 0.2e9);
+        assert!((tslow.total - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_bound_time_ignores_core_count() {
+        let spec = NodeSpec::cortex_a9();
+        let d = OpDemand {
+            mem_cycles_per_op: 1.4e6,
+            ..OpDemand::compute_only(1.0e5)
+        };
+        let m = SingleNodeModel::new(&spec, &d, 0.0);
+        let t4 = m.time(1000.0, 4, 1.4e9);
+        let t1 = m.time(1000.0, 1, 1.4e9);
+        assert!((t4.total - 1.0).abs() < 1e-12);
+        assert!((t4.cpu - t1.cpu).abs() < 1e-12, "UMA memory is shared");
+    }
+
+    #[test]
+    fn io_overlap_and_arrival_bound() {
+        let spec = NodeSpec::cortex_a9(); // 12.5 MB/s NIC
+        let d = OpDemand {
+            io_bytes_per_op: 12.5,
+            io_requests_per_op: 0.01,
+            ..OpDemand::compute_only(100.0)
+        };
+        // Transfer-bound: 1e6 ops · 12.5 B = 12.5 MB → 1 s.
+        let m = SingleNodeModel::new(&spec, &d, 0.0);
+        let t = m.time(1.0e6, 4, 1.4e9);
+        assert!((t.io - 1.0).abs() < 1e-9);
+        assert!((t.total - 1.0).abs() < 1e-9, "CPU (.018 s) hides under I/O");
+        // Arrival-bound: 10⁴ requests at λ = 5000/s → 2 s.
+        let m = SingleNodeModel::new(&spec, &d, 5000.0);
+        let t = m.time(1.0e6, 4, 1.4e9);
+        assert!((t.io - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pure_core_bound_work_has_no_stall_energy() {
+        let spec = NodeSpec::opteron_k10();
+        let d = OpDemand::compute_only(2.1e6);
+        let m = SingleNodeModel::new(&spec, &d, 0.0);
+        let e = m.energy(1000.0, 6, 2.1e9);
+        assert_eq!(e.cpu_stall, 0.0);
+        assert!(e.cpu_act > 0.0);
+    }
+
+    #[test]
+    fn memory_bound_work_stalls_cores() {
+        let spec = NodeSpec::opteron_k10();
+        let d = OpDemand {
+            mem_cycles_per_op: 2.1e6,
+            ..OpDemand::compute_only(2.1e6) // cores busy 1/6 of T_CPU
+        };
+        let m = SingleNodeModel::new(&spec, &d, 0.0);
+        let e = m.energy(1000.0, 6, 2.1e9);
+        assert!(e.cpu_stall > 0.0);
+    }
+
+    #[test]
+    fn busy_power_between_idle_and_nameplate() {
+        let spec = NodeSpec::opteron_k10();
+        let d = OpDemand::compute_only(2.1e6);
+        let m = SingleNodeModel::new(&spec, &d, 0.0);
+        let p = m.busy_power(6, 2.1e9);
+        assert!(p > spec.power.sys_idle_w);
+        assert!(p <= spec.nameplate_peak_w() + 1e-9);
+    }
+
+    #[test]
+    fn throughput_is_inverse_time() {
+        let spec = NodeSpec::cortex_a9();
+        let d = OpDemand::compute_only(1.4e6);
+        let m = SingleNodeModel::new(&spec, &d, 0.0);
+        // 4 cores · 1.4 GHz / 1.4e6 = 4000 ops/s
+        assert!((m.throughput(4, 1.4e9) - 4000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ppr_prefers_lower_power_at_equal_throughput() {
+        let a9 = NodeSpec::cortex_a9();
+        let d = OpDemand::compute_only(1.4e6);
+        let m = SingleNodeModel::new(&a9, &d, 0.0);
+        let ppr = m.ppr(4, 1.4e9);
+        assert!((ppr - 4000.0 / m.busy_power(4, 1.4e9)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,80 @@
+//! Datacenter sizing: given a time deadline and a power budget, search the
+//! heterogeneous configuration space for the cheapest-energy cluster — the
+//! paper intro's motivating problem ("for a given application with a time
+//! deadline and energy budget, it is non-trivial to determine an
+//! energy-proportional configuration among the large system configuration
+//! space").
+//!
+//! ```sh
+//! cargo run --release --example datacenter_sizing
+//! ```
+
+use enprop::explore::knee_point;
+use enprop::prelude::*;
+
+fn main() {
+    let budget_w = 1000.0;
+    // Provision for a fleet of up to 32 wimpy + 12 brawny nodes.
+    let types = [TypeSpace::a9(32), TypeSpace::k10(12)];
+    println!(
+        "configuration space : {} configurations",
+        count_configurations(&types)
+    );
+
+    for workload_name in ["EP", "x264", "blackscholes"] {
+        let workload = catalog::by_name(workload_name).unwrap();
+        println!("\n=== {workload_name} (unit: {}) ===", workload.unit);
+
+        // Evaluate the whole space in parallel and keep what the budget allows.
+        let evald: Vec<_> = evaluate_space(&workload, enumerate_configurations(&types))
+            .into_iter()
+            .filter(|e| e.nameplate_w <= budget_w)
+            .collect();
+        let front = pareto_front(&evald);
+        println!(
+            "within {budget_w} W budget: {} configs, {} on the energy-deadline Pareto frontier",
+            evald.len(),
+            front.len()
+        );
+
+        // A deadline of 2x the fastest feasible configuration.
+        let fastest = front.first().expect("nonempty frontier").job_time;
+        let deadline = 2.0 * fastest;
+        let best = sweet_spot(&evald, deadline).expect("feasible deadline");
+        println!("deadline {:.3} s -> sweet spot:", deadline);
+        println!("  configuration : {}", best.cluster.label());
+        for g in best.cluster.groups.iter().filter(|g| g.count > 0) {
+            println!(
+                "    {:>4} x {:<4} {} cores @ {:.2} GHz",
+                g.count,
+                g.spec.name,
+                g.cores,
+                g.freq / 1e9
+            );
+        }
+        println!(
+            "  job time {:.3} s | job energy {:.1} J | nameplate {:.0} W",
+            best.job_time, best.job_energy, best.nameplate_w
+        );
+
+        // How much energy does the deadline cost? Compare with the
+        // unconstrained minimum-energy configuration.
+        let cheapest = sweet_spot(&evald, f64::INFINITY).unwrap();
+        println!(
+            "  unconstrained minimum energy: {:.1} J at {:.3} s ({})",
+            cheapest.job_energy,
+            cheapest.job_time,
+            cheapest.cluster.label()
+        );
+
+        // No deadline at all? The frontier's knee balances both axes.
+        if let Some(knee) = knee_point(&front) {
+            println!(
+                "  frontier knee (no-deadline recommendation): {} at {:.3} s / {:.1} J",
+                knee.cluster.label(),
+                knee.job_time,
+                knee.job_energy
+            );
+        }
+    }
+}
