@@ -3,6 +3,7 @@
 
 pub mod characterize_cmd;
 pub mod explore_cmds;
+pub mod faults_cmd;
 pub mod figures;
 pub mod strategies;
 pub mod tables;

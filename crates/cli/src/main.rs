@@ -5,7 +5,8 @@
 mod commands;
 mod output;
 
-use commands::{characterize_cmd, explore_cmds, figures, strategies, tables, Opts};
+use commands::{characterize_cmd, explore_cmds, faults_cmd, figures, strategies, tables, Opts};
+use enprop_clustersim::EnpropError;
 
 const USAGE: &str = "\
 enprop — energy proportionality of heterogeneous clusters (CLUSTER'16 reproduction)
@@ -29,6 +30,11 @@ Experiment commands (one per paper artifact):
   fig11         p95 response time of heterogeneous mixes (EP)
   fig12         p95 response time of heterogeneous mixes (x264)
   all           Run every table and figure in order
+
+Robustness commands:
+  faults        Extension: fault injection with recovery  [--mtbf SECS]
+                [--stall SECS] [--slowdown X] [--retries N]
+                [--timeout-factor F] [--utilization U] [--jobs N]
 
 Exploration commands:
   footnote4     Configuration-space size (paper's 36,380 example)
@@ -54,6 +60,18 @@ Options:
   --k10 N       Max/count of K10 nodes for exploration commands (default 12)
   --deadline S  Deadline in seconds for `sweet`
   --scale X     Kernel size multiplier for `kernels` (default 0.2)
+
+Fault options (for `faults`):
+  --mtbf S          Per-node MTBF in seconds (default 4x the fault-free job time)
+  --stall S         Also inject transient stalls of S seconds
+  --slowdown X      Also inject stragglers running X times slower (X > 1)
+  --retries N       Retry budget after the first attempt (default 3)
+  --timeout-factor F  Attempt timeout as a multiple of the job time (default 3)
+  --utilization U   Dispatcher load for the queue comparison (default 0.7)
+  --jobs N          Jobs sampled under the plan (default 200)
+
+Exit codes: 0 ok, 2 invalid configuration or parameter, 3 missing profile
+or empty cluster, 4 cluster dead / retry budget exhausted.
 ";
 
 fn parse_flag(args: &[String], name: &str) -> Option<String> {
@@ -63,6 +81,13 @@ fn parse_flag(args: &[String], name: &str) -> Option<String> {
 }
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(e.exit_code());
+    }
+}
+
+fn run() -> Result<(), EnpropError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().cloned() else {
         eprint!("{USAGE}");
@@ -134,6 +159,28 @@ fn main() {
         }
         "kernels" => characterize_cmd::kernels_cmd(&opts, scale),
         "power" => characterize_cmd::power_cmd(&opts),
+        "faults" => {
+            let mut fo = faults_cmd::FaultOpts {
+                mtbf_s: parse_flag(&args, "--mtbf").map(|s| s.parse().expect("--mtbf f64")),
+                stall_s: parse_flag(&args, "--stall").map(|s| s.parse().expect("--stall f64")),
+                slowdown: parse_flag(&args, "--slowdown")
+                    .map(|s| s.parse().expect("--slowdown f64")),
+                ..faults_cmd::FaultOpts::default()
+            };
+            if let Some(s) = parse_flag(&args, "--retries") {
+                fo.retries = s.parse().expect("--retries int");
+            }
+            if let Some(s) = parse_flag(&args, "--timeout-factor") {
+                fo.timeout_factor = s.parse().expect("--timeout-factor f64");
+            }
+            if let Some(s) = parse_flag(&args, "--utilization") {
+                fo.utilization = s.parse().expect("--utilization f64");
+            }
+            if let Some(s) = parse_flag(&args, "--jobs") {
+                fo.jobs = s.parse().expect("--jobs int");
+            }
+            faults_cmd::faults_cmd(&opts, &fo, a9, k10)?;
+        }
         "all" => {
             tables::table4_cmd(&opts);
             println!();
@@ -176,4 +223,5 @@ fn main() {
             std::process::exit(2);
         }
     }
+    Ok(())
 }

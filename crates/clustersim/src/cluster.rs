@@ -106,15 +106,26 @@ pub struct ClusterSpec {
 }
 
 impl ClusterSpec {
+    /// Build and validate a cluster from groups, reporting an
+    /// [`EnpropError::InvalidConfig`] when any non-empty group has an
+    /// invalid operating point.
+    ///
+    /// [`EnpropError::InvalidConfig`]: enprop_faults::EnpropError::InvalidConfig
+    pub fn try_new(groups: Vec<NodeGroup>) -> Result<Self, enprop_faults::EnpropError> {
+        for g in &groups {
+            g.validate()
+                .map_err(enprop_faults::EnpropError::InvalidConfig)?;
+        }
+        Ok(ClusterSpec { groups })
+    }
+
     /// Build and validate a cluster from groups.
     ///
     /// # Panics
-    /// Panics when any non-empty group has an invalid operating point.
+    /// Panics when any non-empty group has an invalid operating point. Use
+    /// [`ClusterSpec::try_new`] to get a typed error instead.
     pub fn new(groups: Vec<NodeGroup>) -> Self {
-        for g in &groups {
-            g.validate().unwrap_or_else(|e| panic!("{e}"));
-        }
-        ClusterSpec { groups }
+        Self::try_new(groups).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The paper's standard mix: `a9` Cortex-A9 nodes (with the footnote-3
@@ -228,5 +239,18 @@ mod tests {
         let mut g = NodeGroup::full(NodeSpec::cortex_a9(), 4);
         g.freq = 1.3e9; // not a DVFS level
         let _ = ClusterSpec::new(vec![g]);
+    }
+
+    #[test]
+    fn try_new_reports_typed_config_error() {
+        let mut g = NodeGroup::full(NodeSpec::cortex_a9(), 4);
+        g.freq = 1.3e9;
+        let err = ClusterSpec::try_new(vec![g]).unwrap_err();
+        assert!(matches!(
+            err,
+            enprop_faults::EnpropError::InvalidConfig(_)
+        ));
+        assert!(err.to_string().contains("frequency"));
+        assert!(ClusterSpec::try_new(vec![NodeGroup::full(NodeSpec::cortex_a9(), 2)]).is_ok());
     }
 }

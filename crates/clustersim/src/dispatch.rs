@@ -8,6 +8,7 @@
 //! accurate, which is the paper's justification for using them.
 
 use crate::run::ClusterSim;
+use enprop_faults::{EnpropError, FaultPlan, RetryPolicy};
 use enprop_queueing::{exact_quantile, OnlineStats};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -35,20 +36,62 @@ impl ClusterQueueResult {
 pub struct ClusterQueueSim {
     service_pool: Vec<f64>,
     mean_service: f64,
+    /// Jobs in the pool that needed at least one retry (0 when the pool
+    /// was built without a fault plan).
+    retried_jobs: usize,
 }
 
 impl ClusterQueueSim {
     /// Pre-simulate `pool` distinct jobs on the cluster to build an
-    /// empirical service-time distribution.
-    pub fn new(sim: &ClusterSim<'_>, pool: usize, seed: u64) -> Self {
-        assert!(pool >= 1);
+    /// empirical service-time distribution. Rejects an empty pool with
+    /// [`EnpropError::InvalidConfig`].
+    pub fn new(sim: &ClusterSim<'_>, pool: usize, seed: u64) -> Result<Self, EnpropError> {
+        if pool == 0 {
+            return Err(EnpropError::invalid_config(
+                "service pool must hold at least one job",
+            ));
+        }
         let service_pool: Vec<f64> = (0..pool)
             .map(|i| sim.run_job(seed.wrapping_add(i as u64 * 104_729)).duration)
             .collect();
-        let mean_service = service_pool.iter().sum::<f64>() / pool as f64;
+        Ok(Self::from_pool(service_pool, 0))
+    }
+
+    /// Like [`ClusterQueueSim::new`], but every pooled job runs under the
+    /// fault plan with recovery — the dispatcher then queues jobs whose
+    /// service times are inflated by re-dispatch waves, timed-out attempts
+    /// and backoff. A job that exhausts its retry budget propagates the
+    /// error (size the budget for the plan's fault rate).
+    pub fn with_faults(
+        sim: &ClusterSim<'_>,
+        pool: usize,
+        seed: u64,
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+    ) -> Result<Self, EnpropError> {
+        if pool == 0 {
+            return Err(EnpropError::invalid_config(
+                "service pool must hold at least one job",
+            ));
+        }
+        let mut service_pool = Vec::with_capacity(pool);
+        let mut retried_jobs = 0;
+        for i in 0..pool {
+            let f = sim.run_job_under_plan(plan, policy, seed.wrapping_add(i as u64 * 104_729))?;
+            if f.attempts > 1 {
+                retried_jobs += 1;
+            }
+            service_pool.push(f.run.duration);
+        }
+        Ok(Self::from_pool(service_pool, retried_jobs))
+    }
+
+    fn from_pool(service_pool: Vec<f64>, retried_jobs: usize) -> Self {
+        let mean_service = service_pool.iter().sum::<f64>() / service_pool.len() as f64;
         ClusterQueueSim {
             service_pool,
             mean_service,
+            retried_jobs,
         }
     }
 
@@ -57,13 +100,27 @@ impl ClusterQueueSim {
         self.mean_service
     }
 
+    /// Pooled jobs that needed at least one retry.
+    pub fn retried_jobs(&self) -> usize {
+        self.retried_jobs
+    }
+
     /// Run `jobs` Poisson arrivals at the arrival rate that offers
-    /// `utilization`, discarding `warmup` jobs.
-    pub fn run(&self, utilization: f64, jobs: usize, warmup: usize, seed: u64) -> ClusterQueueResult {
-        assert!(
-            utilization > 0.0 && utilization < 1.0,
-            "utilization must be in (0, 1)"
-        );
+    /// `utilization`, discarding `warmup` jobs. The utilization must lie
+    /// strictly inside `(0, 1)` for the queue to be stable.
+    pub fn run(
+        &self,
+        utilization: f64,
+        jobs: usize,
+        warmup: usize,
+        seed: u64,
+    ) -> Result<ClusterQueueResult, EnpropError> {
+        if !(utilization > 0.0 && utilization < 1.0) {
+            return Err(EnpropError::invalid_parameter(
+                "utilization",
+                format!("must be in (0, 1) for a stable queue, got {utilization}"),
+            ));
+        }
         let lambda = utilization / self.mean_service;
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut clock = 0.0f64;
@@ -88,11 +145,11 @@ impl ClusterQueueSim {
             }
         }
         let horizon = (server_free - first).max(f64::MIN_POSITIVE);
-        ClusterQueueResult {
+        Ok(ClusterQueueResult {
             response,
             samples,
             utilization: (busy / horizon).min(1.0),
-        }
+        })
     }
 }
 
@@ -109,8 +166,8 @@ mod tests {
         let w = catalog::by_name("EP").unwrap();
         let c = ClusterSpec::a9_k10(8, 4);
         let sim = ClusterSim::new(&w, &c);
-        let q = ClusterQueueSim::new(&sim, 16, 7);
-        let res = q.run(0.7, 60_000, 5_000, 11);
+        let q = ClusterQueueSim::new(&sim, 16, 7).unwrap();
+        let res = q.run(0.7, 60_000, 5_000, 11).unwrap();
         let md1 = MD1::from_utilization(q.mean_service(), 0.7);
         let rel = (res.response.mean() - md1.mean_response_time()).abs()
             / md1.mean_response_time();
@@ -126,9 +183,9 @@ mod tests {
         let w = catalog::by_name("EP").unwrap();
         let c = ClusterSpec::a9_k10(4, 2);
         let sim = ClusterSim::new(&w, &c);
-        let q = ClusterQueueSim::new(&sim, 8, 3);
-        let lo = q.run(0.3, 20_000, 2_000, 5);
-        let hi = q.run(0.95, 20_000, 2_000, 5);
+        let q = ClusterQueueSim::new(&sim, 8, 3).unwrap();
+        let lo = q.run(0.3, 20_000, 2_000, 5).unwrap();
+        let hi = q.run(0.95, 20_000, 2_000, 5).unwrap();
         assert!(
             hi.response.mean() > 3.0 * lo.response.mean(),
             "queueing delay must dominate at high load"
@@ -140,8 +197,57 @@ mod tests {
         let w = catalog::by_name("blackscholes").unwrap();
         let c = ClusterSpec::a9_k10(4, 2);
         let sim = ClusterSim::new(&w, &c);
-        let q = ClusterQueueSim::new(&sim, 8, 1);
-        let res = q.run(0.6, 40_000, 4_000, 2);
+        let q = ClusterQueueSim::new(&sim, 8, 1).unwrap();
+        let res = q.run(0.6, 40_000, 4_000, 2).unwrap();
         assert!((res.utilization - 0.6).abs() < 0.03, "u = {}", res.utilization);
+    }
+
+    #[test]
+    fn bad_pool_and_utilization_are_typed_errors() {
+        let w = catalog::by_name("EP").unwrap();
+        let c = ClusterSpec::a9_k10(4, 2);
+        let sim = ClusterSim::new(&w, &c);
+        assert!(matches!(
+            ClusterQueueSim::new(&sim, 0, 1),
+            Err(enprop_faults::EnpropError::InvalidConfig(_))
+        ));
+        let q = ClusterQueueSim::new(&sim, 4, 1).unwrap();
+        assert!(q.run(0.0, 100, 10, 1).is_err());
+        assert!(q.run(1.0, 100, 10, 1).is_err());
+    }
+
+    #[test]
+    fn faulted_pool_inflates_service_times() {
+        use enprop_faults::{GroupFaultProfile, MtbfModel};
+        let w = catalog::by_name("EP").unwrap();
+        let c = ClusterSpec::a9_k10(8, 4);
+        let sim = ClusterSim::new(&w, &c);
+        let clean = ClusterQueueSim::new(&sim, 8, 7).unwrap();
+        let job = sim.run_job(7);
+        let plan = FaultPlan::uniform(
+            1,
+            GroupFaultProfile::crashes(MtbfModel::Exponential {
+                mtbf_s: job.duration * 4.0,
+            }),
+            2,
+        );
+        let policy = RetryPolicy {
+            max_retries: 8,
+            timeout_factor: 10.0,
+            backoff_base_s: 1.0,
+            backoff_multiplier: 2.0,
+        };
+        let faulted = ClusterQueueSim::with_faults(&sim, 8, 7, &plan, &policy).unwrap();
+        assert!(
+            faulted.mean_service() > clean.mean_service(),
+            "faults must inflate service: {} vs {}",
+            faulted.mean_service(),
+            clean.mean_service()
+        );
+        // An inert plan reproduces the clean pool exactly.
+        let inert =
+            ClusterQueueSim::with_faults(&sim, 8, 7, &FaultPlan::none(), &policy).unwrap();
+        assert_eq!(inert.mean_service(), clean.mean_service());
+        assert_eq!(inert.retried_jobs(), 0);
     }
 }

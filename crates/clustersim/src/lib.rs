@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod cluster;
 mod dispatch;
@@ -35,6 +36,16 @@ mod validate;
 
 pub use cluster::{ClusterSpec, NodeGroup, SwitchOverhead};
 pub use dispatch::{ClusterQueueResult, ClusterQueueSim};
-pub use run::{ClusterJobRun, ClusterSim, FaultyJobRun, Observation, PowerTrace};
-pub use split::{rate_matched_split, WorkSplit};
-pub use validate::{model_prediction, validate, ModelPrediction, ValidationReport};
+pub use enprop_faults::{
+    EnpropError, FaultEvent, FaultKind, FaultPlan, GroupFaultProfile, MtbfModel, RetryPolicy,
+};
+pub use run::{
+    ClusterJobRun, ClusterSim, FaultRecord, FaultedJobRun, FaultyJobRun, Observation, PowerTrace,
+};
+pub use split::{
+    rate_matched_split, try_rate_matched_split, try_rate_matched_split_surviving, WorkSplit,
+};
+pub use validate::{
+    model_prediction, try_model_prediction, try_validate, validate, ModelPrediction,
+    ValidationReport,
+};

@@ -3,7 +3,8 @@
 //! in an observation interval `T`).
 
 use crate::cluster::ClusterSpec;
-use crate::split::{rate_matched_split, WorkSplit};
+use crate::split::{try_rate_matched_split, try_rate_matched_split_surviving, WorkSplit};
+use enprop_faults::{EnpropError, FaultKind, FaultPlan, RetryPolicy};
 use enprop_workloads::Workload;
 use enprop_nodesim::NodeSim;
 
@@ -44,15 +45,45 @@ pub struct ClusterSim<'a> {
     split: WorkSplit,
 }
 
+/// Per-node outcome of a fault-free job wave (internal: shared by the
+/// plain run and the fault-injected run so both see identical node data).
+#[derive(Debug, Clone, Copy)]
+struct NodeRunData {
+    /// Group index of this node.
+    group: usize,
+    /// Node index within its group.
+    node: u32,
+    /// Node idle power, watts.
+    idle_w: f64,
+    /// Busy duration of this node's share, seconds.
+    duration: f64,
+    /// Busy energy of this node's share, joules.
+    energy: f64,
+}
+
 impl<'a> ClusterSim<'a> {
-    /// Build the simulator (computes the rate-matched split once).
-    pub fn new(workload: &'a Workload, cluster: &'a ClusterSpec) -> Self {
-        let split = rate_matched_split(workload, cluster);
-        ClusterSim {
+    /// Build the simulator (computes the rate-matched split once),
+    /// reporting a typed error for an empty cluster or a missing
+    /// workload profile.
+    pub fn try_new(
+        workload: &'a Workload,
+        cluster: &'a ClusterSpec,
+    ) -> Result<Self, EnpropError> {
+        let split = try_rate_matched_split(workload, cluster)?;
+        Ok(ClusterSim {
             workload,
             cluster,
             split,
-        }
+        })
+    }
+
+    /// Build the simulator (computes the rate-matched split once).
+    ///
+    /// # Panics
+    /// Panics when the cluster is empty or a node type lacks a calibrated
+    /// profile. Use [`ClusterSim::try_new`] for a typed error.
+    pub fn new(workload: &'a Workload, cluster: &'a ClusterSpec) -> Self {
+        Self::try_new(workload, cluster).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The rate-matched split in use.
@@ -60,16 +91,19 @@ impl<'a> ClusterSim<'a> {
         &self.split
     }
 
-    /// Run one job of `ops_per_job` operations; every node simulated
-    /// individually with its own seed.
-    pub fn run_job(&self, seed: u64) -> ClusterJobRun {
+    /// Simulate every node's share of one job individually (the common
+    /// kernel of [`ClusterSim::run_job`] and the fault-injected runs).
+    fn node_runs(&self, seed: u64) -> Vec<NodeRunData> {
         let ops = self.workload.ops_per_job;
         let mut node_runs = Vec::new();
         for (gi, g) in self.cluster.groups.iter().enumerate() {
             if g.count == 0 {
                 continue;
             }
-            let profile = self.workload.profile_or_panic(g.spec.name);
+            let profile = self
+                .workload
+                .try_profile(g.spec.name)
+                .expect("profiles validated at construction");
             let sim = NodeSim::new(profile.spec.clone());
             let node_ops = self.split.ops_per_node[gi] * ops;
             let work = self.workload.node_work(profile, node_ops);
@@ -78,23 +112,41 @@ impl<'a> ClusterSim<'a> {
                     .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                     .wrapping_add((gi as u64) << 32 | ni as u64);
                 let run = sim.run(&work, g.cores, g.freq, &profile.frictions, node_seed);
-                node_runs.push((g.spec.power.sys_idle_w, run));
+                node_runs.push(NodeRunData {
+                    group: gi,
+                    node: ni,
+                    idle_w: g.spec.power.sys_idle_w,
+                    duration: run.duration,
+                    energy: run.energy.total(),
+                });
             }
         }
+        node_runs
+    }
+
+    /// Compose per-node runs into the cluster-level job result (early
+    /// finishers idle until the slowest node completes).
+    fn compose(&self, node_runs: &[NodeRunData]) -> ClusterJobRun {
         let duration = node_runs
             .iter()
-            .map(|(_, r)| r.duration)
+            .map(|r| r.duration)
             .fold(0.0f64, f64::max);
         // Early finishers idle until the job completes on the slowest node.
         let energy: f64 = node_runs
             .iter()
-            .map(|(idle_w, r)| r.energy.total() + (duration - r.duration) * idle_w)
+            .map(|r| r.energy + (duration - r.duration) * r.idle_w)
             .sum();
         ClusterJobRun {
             duration,
             energy,
-            ops,
+            ops: self.workload.ops_per_job,
         }
+    }
+
+    /// Run one job of `ops_per_job` operations; every node simulated
+    /// individually with its own seed.
+    pub fn run_job(&self, seed: u64) -> ClusterJobRun {
+        self.compose(&self.node_runs(seed))
     }
 
     /// Average of `n` simulated jobs (distinct seeds).
@@ -484,5 +536,461 @@ mod failure_tests {
         let a = sim.run_job_with_failures(0.3, 9);
         let b = sim.run_job_with_failures(0.3, 9);
         assert_eq!(a, b);
+    }
+}
+
+/// One applied fault in a [`FaultedJobRun`] trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRecord {
+    /// Attempt the fault fired in (0-based).
+    pub attempt: u32,
+    /// Group index of the struck node.
+    pub group: usize,
+    /// Node index within its group.
+    pub node: u32,
+    /// Fault instant, seconds from the start of the attempt.
+    pub at_s: f64,
+    /// What the fault did.
+    pub kind: FaultKind,
+}
+
+/// Outcome of a job run under a [`FaultPlan`] with job-level recovery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultedJobRun {
+    /// The composed run: `duration` is wall-clock from first dispatch to
+    /// completion, including failed attempts and backoff; `energy` covers
+    /// the whole window.
+    pub run: ClusterJobRun,
+    /// Attempts consumed (1 = first try succeeded).
+    pub attempts: u32,
+    /// Crash faults applied across all attempts.
+    pub crashes: u32,
+    /// Stall faults applied across all attempts.
+    pub stalls: u32,
+    /// Straggler faults applied across all attempts.
+    pub stragglers: u32,
+    /// Operations re-dispatched from crashed nodes to survivors.
+    pub redispatched_ops: f64,
+    /// Every applied fault, in (attempt, node, time) order.
+    pub trace: Vec<FaultRecord>,
+}
+
+/// Sampling window multiplier used when the retry policy has no finite
+/// timeout: faults are drawn within `16 ×` the fault-free job duration
+/// (beyond that the attempt has long since ended or will complete
+/// undisturbed).
+const UNBOUNDED_SAMPLING_FACTOR: f64 = 16.0;
+
+/// Per-node interpretation of one attempt (internal).
+struct NodeOutcome {
+    /// When this node stopped drawing busy power (finish or crash instant).
+    busy_end: f64,
+    /// Energy drawn while busy (stall time billed at idle power).
+    busy_energy: f64,
+    /// Node idle power, watts.
+    idle_w: f64,
+}
+
+impl ClusterSim<'_> {
+    /// Run one job under a deterministic [`FaultPlan`], recovering per the
+    /// [`RetryPolicy`]:
+    ///
+    /// - **Crash**: the node dies at the fault instant; the undone part of
+    ///   its shard is re-dispatched to the survivors after the main wave,
+    ///   with the rate-matched split recomputed over the survivors (work is
+    ///   conserved). Dead nodes keep drawing idle power (fail-stop).
+    /// - **Stall**: the node freezes for the stall length at idle power,
+    ///   then resumes.
+    /// - **Straggler**: the node's whole share runs `slowdown`× slower.
+    ///
+    /// An attempt fails when it exceeds `timeout_factor ×` the fault-free
+    /// duration or when every node crashed; failed attempts re-dispatch
+    /// after exponential backoff until the retry budget is exhausted, which
+    /// yields [`EnpropError::RetryBudgetExhausted`]. An inert plan returns
+    /// a result bit-identical to [`ClusterSim::run_job`].
+    ///
+    /// Deterministic: same `(plan, policy, seed)` ⇒ same result and trace.
+    pub fn run_job_under_plan(
+        &self,
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+        seed: u64,
+    ) -> Result<FaultedJobRun, EnpropError> {
+        plan.validate()?;
+        policy.validate()?;
+        let nodes = self.node_runs(seed);
+        let base = self.compose(&nodes);
+        if plan.is_inert() {
+            return Ok(FaultedJobRun {
+                run: base,
+                attempts: 1,
+                crashes: 0,
+                stalls: 0,
+                stragglers: 0,
+                redispatched_ops: 0.0,
+                trace: Vec::new(),
+            });
+        }
+        let timeout_s = base.duration * policy.timeout_factor;
+        let sample_horizon = if timeout_s.is_finite() {
+            timeout_s
+        } else {
+            base.duration * UNBOUNDED_SAMPLING_FACTOR
+        };
+        let idle_w = self.cluster.idle_w();
+        let busy_delta_w = base.energy / base.duration - idle_w;
+        let ops = self.workload.ops_per_job;
+
+        let mut total_time = 0.0;
+        let mut total_energy = 0.0;
+        let mut crashes = 0u32;
+        let mut stalls = 0u32;
+        let mut stragglers = 0u32;
+        let mut redispatched_ops = 0.0;
+        let mut trace = Vec::new();
+
+        for attempt in 0..policy.max_attempts() {
+            let mut alive: Vec<u32> = self.cluster.groups.iter().map(|g| g.count).collect();
+            let mut lost_ops = 0.0;
+            let mut outcomes = Vec::with_capacity(nodes.len());
+            for r in &nodes {
+                let events =
+                    plan.events_for_node(seed, attempt, r.group, r.node, sample_horizon);
+                let mut slowdown = 1.0;
+                let mut stall_s = 0.0;
+                let mut crash_at = None;
+                for e in &events {
+                    trace.push(FaultRecord {
+                        attempt,
+                        group: r.group,
+                        node: r.node,
+                        at_s: e.at_s,
+                        kind: e.kind,
+                    });
+                    match e.kind {
+                        FaultKind::Crash => {
+                            crashes += 1;
+                            crash_at = Some(e.at_s);
+                            break; // a dead node takes no further faults
+                        }
+                        FaultKind::Stall { duration_s } => {
+                            stalls += 1;
+                            stall_s += duration_s;
+                        }
+                        FaultKind::Straggler { slowdown: s } => {
+                            stragglers += 1;
+                            slowdown *= s;
+                        }
+                    }
+                }
+                // Finish time of this node's shard absent a crash; progress
+                // is modeled as linear over the stretched run.
+                let nominal_finish = r.duration * slowdown + stall_s;
+                let full_energy = r.energy * slowdown + stall_s * r.idle_w;
+                match crash_at {
+                    Some(t) => {
+                        alive[r.group] -= 1;
+                        let t = t.min(nominal_finish);
+                        let frac = if nominal_finish > 0.0 { t / nominal_finish } else { 1.0 };
+                        let share_ops = self.split.ops_per_node[r.group] * ops;
+                        lost_ops += share_ops * (1.0 - frac);
+                        outcomes.push(NodeOutcome {
+                            busy_end: t,
+                            busy_energy: full_energy * frac,
+                            idle_w: r.idle_w,
+                        });
+                    }
+                    None => outcomes.push(NodeOutcome {
+                        busy_end: nominal_finish,
+                        busy_energy: full_energy,
+                        idle_w: r.idle_w,
+                    }),
+                }
+            }
+            // The main wave ends when the last node stops (finish or death).
+            let wave_end = outcomes.iter().map(|o| o.busy_end).fold(0.0f64, f64::max);
+            let wave_energy: f64 = outcomes
+                .iter()
+                .map(|o| o.busy_energy + (wave_end - o.busy_end) * o.idle_w)
+                .sum();
+
+            let survivors: u32 = alive.iter().sum();
+            let failed_attempt = if survivors == 0 {
+                // Cluster dead: the attempt aborts when the last node dies.
+                total_time += wave_end;
+                total_energy += wave_energy;
+                true
+            } else {
+                // Recovery wave: survivors re-execute the lost shards under
+                // the degraded rate-matched split (work conserved).
+                let (recovery_time, recovery_energy) = if lost_ops > 0.0 {
+                    let degraded =
+                        try_rate_matched_split_surviving(self.workload, self.cluster, &alive)?;
+                    let t = lost_ops / degraded.cluster_rate;
+                    let p = idle_w
+                        + busy_delta_w * (degraded.cluster_rate / self.split.cluster_rate);
+                    redispatched_ops += lost_ops;
+                    (t, t * p)
+                } else {
+                    (0.0, 0.0)
+                };
+                let completion = wave_end + recovery_time;
+                let attempt_energy = wave_energy + recovery_energy;
+                if completion <= timeout_s {
+                    return Ok(FaultedJobRun {
+                        run: ClusterJobRun {
+                            duration: total_time + completion,
+                            energy: total_energy + attempt_energy,
+                            ops,
+                        },
+                        attempts: attempt + 1,
+                        crashes,
+                        stalls,
+                        stragglers,
+                        redispatched_ops,
+                        trace,
+                    });
+                }
+                // Timed out: the attempt is killed at the deadline, having
+                // burned energy in proportion to its progress.
+                total_time += timeout_s;
+                total_energy += attempt_energy * (timeout_s / completion);
+                true
+            };
+            if failed_attempt && attempt + 1 < policy.max_attempts() {
+                // Backoff at cluster idle power before the retry.
+                let backoff = policy.backoff_s(attempt);
+                total_time += backoff;
+                total_energy += backoff * idle_w;
+            }
+        }
+        Err(EnpropError::RetryBudgetExhausted {
+            job_seed: seed,
+            attempts: policy.max_attempts(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod fault_plan_tests {
+    use super::*;
+    use enprop_faults::{GroupFaultProfile, MtbfModel};
+    use enprop_workloads::catalog;
+
+    fn sim_fixture() -> (&'static str, ClusterSpec) {
+        ("EP", ClusterSpec::a9_k10(4, 2))
+    }
+
+    #[test]
+    fn inert_plan_is_bit_identical_to_plain_run() {
+        let (name, c) = sim_fixture();
+        let w = catalog::by_name(name).unwrap();
+        let sim = ClusterSim::new(&w, &c);
+        for seed in [0u64, 1, 7, 99] {
+            let f = sim
+                .run_job_under_plan(&FaultPlan::none(), &RetryPolicy::standard(), seed)
+                .unwrap();
+            assert_eq!(f.run, sim.run_job(seed));
+            assert_eq!(f.attempts, 1);
+            assert!(f.trace.is_empty());
+        }
+    }
+
+    #[test]
+    fn scheduled_crash_redispatches_and_costs_time() {
+        let (name, c) = sim_fixture();
+        let w = catalog::by_name(name).unwrap();
+        let sim = ClusterSim::new(&w, &c);
+        let base = sim.run_job(5);
+        // Crash one group's nodes halfway through the job.
+        let plan = FaultPlan {
+            seed: 0,
+            groups: vec![GroupFaultProfile {
+                mtbf: MtbfModel::Schedule(vec![base.duration * 0.5]),
+                kinds: vec![(1.0, FaultKind::Crash)],
+            }],
+        };
+        let f = sim
+            .run_job_under_plan(&plan, &RetryPolicy::standard(), 5)
+            .unwrap();
+        assert_eq!(f.crashes, 4, "all four A9 nodes crash");
+        assert!(f.redispatched_ops > 0.0);
+        assert!(f.run.duration > base.duration);
+        assert!(f.run.energy > base.energy);
+        assert_eq!(f.attempts, 1, "survivors absorb the lost work in-attempt");
+    }
+
+    #[test]
+    fn straggler_slows_and_stall_delays() {
+        let (name, c) = sim_fixture();
+        let w = catalog::by_name(name).unwrap();
+        let sim = ClusterSim::new(&w, &c);
+        let base = sim.run_job(2);
+        let slow = FaultPlan {
+            seed: 0,
+            groups: vec![
+                GroupFaultProfile::none(),
+                GroupFaultProfile {
+                    mtbf: MtbfModel::Schedule(vec![0.0]),
+                    kinds: vec![(1.0, FaultKind::Straggler { slowdown: 2.0 })],
+                },
+            ],
+        };
+        // A 2× straggler on the K10s doubles their finish time; a generous
+        // timeout lets the attempt complete.
+        let mut policy = RetryPolicy::standard();
+        policy.timeout_factor = 4.0;
+        let f = sim.run_job_under_plan(&slow, &policy, 2).unwrap();
+        assert_eq!(f.stragglers, 2);
+        assert!(
+            (f.run.duration / base.duration - 2.0).abs() < 0.05,
+            "rate-matched nodes finish together, so a 2× straggler doubles the wave: {} vs {}",
+            f.run.duration,
+            base.duration
+        );
+
+        let stall_s = base.duration;
+        let stall = FaultPlan {
+            seed: 0,
+            groups: vec![GroupFaultProfile {
+                mtbf: MtbfModel::Schedule(vec![base.duration * 0.25]),
+                kinds: vec![(1.0, FaultKind::Stall { duration_s: stall_s })],
+            }],
+        };
+        let f = sim.run_job_under_plan(&stall, &policy, 2).unwrap();
+        assert_eq!(f.stalls, 4);
+        assert!(
+            (f.run.duration - (base.duration + stall_s)).abs() < 1e-6,
+            "stalled nodes finish one stall late: {} vs {}",
+            f.run.duration,
+            base.duration + stall_s
+        );
+    }
+
+    #[test]
+    fn all_nodes_dead_retries_then_succeeds_or_exhausts() {
+        let w = catalog::by_name("EP").unwrap();
+        let c = ClusterSpec::a9_k10(2, 0);
+        let sim = ClusterSim::new(&w, &c);
+        let base = sim.run_job(1);
+        // Every node crashes at t = 1 s on every attempt (schedules are
+        // attempt-invariant): the budget must exhaust.
+        let plan = FaultPlan {
+            seed: 0,
+            groups: vec![GroupFaultProfile {
+                mtbf: MtbfModel::Schedule(vec![1.0]),
+                kinds: vec![(1.0, FaultKind::Crash)],
+            }],
+        };
+        let err = sim
+            .run_job_under_plan(&plan, &RetryPolicy::standard(), 1)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EnpropError::RetryBudgetExhausted {
+                job_seed: 1,
+                attempts: 4
+            }
+        );
+        assert!(base.duration > 1.0, "fixture sanity: the crash is mid-job");
+    }
+
+    #[test]
+    fn timeout_triggers_retry_with_backoff() {
+        let (name, c) = sim_fixture();
+        let w = catalog::by_name(name).unwrap();
+        let sim = ClusterSim::new(&w, &c);
+        let base = sim.run_job(3);
+        // A 10× straggler on every node pushes the attempt past a 3×
+        // timeout every time: all attempts fail, budget exhausts.
+        let plan = FaultPlan::uniform(
+            0,
+            GroupFaultProfile {
+                mtbf: MtbfModel::Schedule(vec![0.0]),
+                kinds: vec![(1.0, FaultKind::Straggler { slowdown: 10.0 })],
+            },
+            2,
+        );
+        let policy = RetryPolicy {
+            max_retries: 1,
+            timeout_factor: 3.0,
+            backoff_base_s: 5.0,
+            backoff_multiplier: 2.0,
+        };
+        let err = sim.run_job_under_plan(&plan, &policy, 3).unwrap_err();
+        assert!(matches!(err, EnpropError::RetryBudgetExhausted { attempts: 2, .. }));
+
+        // One retry allowed and only the first attempt's schedule slows it
+        // down? Schedules recur, so instead verify the accounting on a plan
+        // that succeeds: a random straggler that hits attempt 0 but not
+        // attempt 1.
+        let flaky = FaultPlan::uniform(
+            42,
+            GroupFaultProfile {
+                mtbf: MtbfModel::Exponential { mtbf_s: base.duration * 2.0 },
+                kinds: vec![(1.0, FaultKind::Straggler { slowdown: 20.0 })],
+            },
+            2,
+        );
+        let policy = RetryPolicy {
+            max_retries: 6,
+            timeout_factor: 2.0,
+            backoff_base_s: 2.0,
+            backoff_multiplier: 2.0,
+        };
+        if let Ok(f) = sim.run_job_under_plan(&flaky, &policy, 3) {
+            if f.attempts > 1 {
+                // Each failed attempt bills the full timeout plus backoff.
+                let floor = (f.attempts - 1) as f64 * base.duration * 2.0;
+                assert!(
+                    f.run.duration > floor,
+                    "duration {} must exceed failed-attempt floor {floor}",
+                    f.run.duration
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_traces() {
+        let (name, c) = sim_fixture();
+        let w = catalog::by_name(name).unwrap();
+        let sim = ClusterSim::new(&w, &c);
+        let plan = FaultPlan::uniform(
+            9,
+            GroupFaultProfile {
+                mtbf: MtbfModel::Exponential { mtbf_s: 60.0 },
+                kinds: vec![
+                    (1.0, FaultKind::Crash),
+                    (2.0, FaultKind::Stall { duration_s: 5.0 }),
+                    (1.0, FaultKind::Straggler { slowdown: 1.5 }),
+                ],
+            },
+            2,
+        );
+        let a = sim.run_job_under_plan(&plan, &RetryPolicy::standard(), 11);
+        let b = sim.run_job_under_plan(&plan, &RetryPolicy::standard(), 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_plans_and_policies_are_rejected() {
+        let (name, c) = sim_fixture();
+        let w = catalog::by_name(name).unwrap();
+        let sim = ClusterSim::new(&w, &c);
+        let bad_plan = FaultPlan::uniform(
+            0,
+            GroupFaultProfile::crashes(MtbfModel::Exponential { mtbf_s: -1.0 }),
+            2,
+        );
+        assert!(matches!(
+            sim.run_job_under_plan(&bad_plan, &RetryPolicy::standard(), 0),
+            Err(EnpropError::InvalidParameter { .. })
+        ));
+        let mut bad_policy = RetryPolicy::standard();
+        bad_policy.timeout_factor = 0.5;
+        assert!(sim
+            .run_job_under_plan(&FaultPlan::none(), &bad_policy, 0)
+            .is_err());
     }
 }

@@ -4,6 +4,7 @@
 //! finish executing at the same time".
 
 use crate::cluster::ClusterSpec;
+use enprop_faults::EnpropError;
 use enprop_workloads::{SingleNodeModel, Workload};
 
 /// How a job's operations are divided across the cluster.
@@ -25,36 +26,76 @@ impl WorkSplit {
     }
 }
 
+/// Compute the rate-matched split of `workload` over `cluster`, reporting
+/// a typed error when the cluster is empty or a node type lacks a
+/// calibrated profile for the workload.
+pub fn try_rate_matched_split(
+    workload: &Workload,
+    cluster: &ClusterSpec,
+) -> Result<WorkSplit, EnpropError> {
+    let alive: Vec<u32> = cluster.groups.iter().map(|g| g.count).collect();
+    try_rate_matched_split_surviving(workload, cluster, &alive)
+}
+
+/// The degraded-mode split: rate matching recomputed over the *surviving*
+/// nodes only — `alive[i]` nodes of group `i` remain. Work is conserved:
+/// the per-node fractions, weighted by survivor counts, still sum to 1, so
+/// re-dispatching a failed node's shard under this split loses nothing.
+///
+/// `ops_per_node[i]` is the share for each **surviving** node of group
+/// `i`; groups with zero survivors get a share of 0.
+pub fn try_rate_matched_split_surviving(
+    workload: &Workload,
+    cluster: &ClusterSpec,
+    alive: &[u32],
+) -> Result<WorkSplit, EnpropError> {
+    if alive.len() != cluster.groups.len() {
+        return Err(EnpropError::invalid_config(format!(
+            "survivor counts cover {} groups but the cluster has {}",
+            alive.len(),
+            cluster.groups.len()
+        )));
+    }
+    let mut node_rate = Vec::with_capacity(cluster.groups.len());
+    let mut cluster_rate = 0.0;
+    for (g, &n_alive) in cluster.groups.iter().zip(alive) {
+        if n_alive > g.count {
+            return Err(EnpropError::invalid_config(format!(
+                "group {} has {} survivors but only {} nodes",
+                g.spec.name, n_alive, g.count
+            )));
+        }
+        if n_alive == 0 {
+            node_rate.push(0.0);
+            continue;
+        }
+        let profile = workload.try_profile(g.spec.name)?;
+        let model = SingleNodeModel::new(&profile.spec, &profile.demand, workload.io_rate);
+        let rate = model.throughput(g.cores, g.freq);
+        node_rate.push(rate);
+        cluster_rate += n_alive as f64 * rate;
+    }
+    if cluster_rate <= 0.0 {
+        return Err(EnpropError::EmptyCluster {
+            workload: workload.name.to_string(),
+        });
+    }
+    let ops_per_node = node_rate.iter().map(|r| r / cluster_rate).collect();
+    Ok(WorkSplit {
+        ops_per_node,
+        node_rate,
+        cluster_rate,
+    })
+}
+
 /// Compute the rate-matched split of `workload` over `cluster`.
 ///
 /// # Panics
 /// Panics when the cluster is empty or a node type lacks a calibrated
-/// profile for the workload.
+/// profile for the workload. Use [`try_rate_matched_split`] to get a
+/// typed [`EnpropError`] instead.
 pub fn rate_matched_split(workload: &Workload, cluster: &ClusterSpec) -> WorkSplit {
-    let mut node_rate = Vec::with_capacity(cluster.groups.len());
-    let mut cluster_rate = 0.0;
-    for g in &cluster.groups {
-        if g.count == 0 {
-            node_rate.push(0.0);
-            continue;
-        }
-        let profile = workload.profile_or_panic(g.spec.name);
-        let model = SingleNodeModel::new(&profile.spec, &profile.demand, workload.io_rate);
-        let rate = model.throughput(g.cores, g.freq);
-        node_rate.push(rate);
-        cluster_rate += g.count as f64 * rate;
-    }
-    assert!(
-        cluster_rate > 0.0,
-        "cluster has no capacity for workload {}",
-        workload.name
-    );
-    let ops_per_node = node_rate.iter().map(|r| r / cluster_rate).collect();
-    WorkSplit {
-        ops_per_node,
-        node_rate,
-        cluster_rate,
-    }
+    try_rate_matched_split(workload, cluster).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
@@ -120,5 +161,61 @@ mod tests {
         let w = catalog::by_name("EP").unwrap();
         let c = ClusterSpec::a9_k10(0, 0);
         let _ = rate_matched_split(&w, &c);
+    }
+
+    #[test]
+    fn try_split_reports_typed_errors() {
+        let w = catalog::by_name("EP").unwrap();
+        let empty = try_rate_matched_split(&w, &ClusterSpec::a9_k10(0, 0)).unwrap_err();
+        assert_eq!(
+            empty,
+            enprop_faults::EnpropError::EmptyCluster {
+                workload: "EP".into()
+            }
+        );
+        assert!(try_rate_matched_split(&w, &ClusterSpec::a9_k10(4, 2)).is_ok());
+    }
+
+    #[test]
+    fn surviving_split_with_all_alive_is_the_plain_split() {
+        let w = catalog::by_name("blackscholes").unwrap();
+        let c = ClusterSpec::a9_k10(10, 5);
+        let full = rate_matched_split(&w, &c);
+        let surv = try_rate_matched_split_surviving(&w, &c, &[10, 5]).unwrap();
+        assert_eq!(full, surv);
+    }
+
+    #[test]
+    fn surviving_split_conserves_work_over_survivors() {
+        let w = catalog::by_name("EP").unwrap();
+        let c = ClusterSpec::a9_k10(10, 5);
+        let alive = [7u32, 2u32];
+        let s = try_rate_matched_split_surviving(&w, &c, &alive).unwrap();
+        let total: f64 = s
+            .ops_per_node
+            .iter()
+            .zip(&alive)
+            .map(|(share, &n)| share * n as f64)
+            .sum();
+        assert!((total - 1.0).abs() < 1e-12, "shares sum to {total}");
+        // Losing nodes lowers the aggregate rate.
+        let full = rate_matched_split(&w, &c);
+        assert!(s.cluster_rate < full.cluster_rate);
+    }
+
+    #[test]
+    fn surviving_split_rejects_bad_survivor_vectors() {
+        let w = catalog::by_name("EP").unwrap();
+        let c = ClusterSpec::a9_k10(10, 5);
+        // Wrong arity.
+        assert!(try_rate_matched_split_surviving(&w, &c, &[10]).is_err());
+        // More survivors than nodes.
+        assert!(try_rate_matched_split_surviving(&w, &c, &[11, 5]).is_err());
+        // No survivors at all.
+        let dead = try_rate_matched_split_surviving(&w, &c, &[0, 0]).unwrap_err();
+        assert!(matches!(
+            dead,
+            enprop_faults::EnpropError::EmptyCluster { .. }
+        ));
     }
 }

@@ -4,7 +4,8 @@
 
 use crate::cluster::ClusterSpec;
 use crate::run::ClusterSim;
-use crate::split::rate_matched_split;
+use crate::split::try_rate_matched_split;
+use enprop_faults::EnpropError;
 use enprop_workloads::{SingleNodeModel, Workload};
 
 /// Analytic (friction-free) prediction for one job on a cluster — the
@@ -18,9 +19,13 @@ pub struct ModelPrediction {
     pub energy: f64,
 }
 
-/// Evaluate the analytic model for one job of `workload` on `cluster`.
-pub fn model_prediction(workload: &Workload, cluster: &ClusterSpec) -> ModelPrediction {
-    let split = rate_matched_split(workload, cluster);
+/// Evaluate the analytic model for one job of `workload` on `cluster`,
+/// reporting a typed error for an empty cluster or a missing profile.
+pub fn try_model_prediction(
+    workload: &Workload,
+    cluster: &ClusterSpec,
+) -> Result<ModelPrediction, EnpropError> {
+    let split = try_rate_matched_split(workload, cluster)?;
     let ops = workload.ops_per_job;
     let time = split.service_time(ops);
     let mut energy = 0.0;
@@ -28,12 +33,21 @@ pub fn model_prediction(workload: &Workload, cluster: &ClusterSpec) -> ModelPred
         if g.count == 0 {
             continue;
         }
-        let profile = workload.profile_or_panic(g.spec.name);
+        let profile = workload.try_profile(g.spec.name)?;
         let model = SingleNodeModel::new(&profile.spec, &profile.demand, workload.io_rate);
         let node_ops = split.ops_per_node[gi] * ops;
         energy += g.count as f64 * model.energy(node_ops, g.cores, g.freq).total();
     }
-    ModelPrediction { time, energy }
+    Ok(ModelPrediction { time, energy })
+}
+
+/// Evaluate the analytic model for one job of `workload` on `cluster`.
+///
+/// # Panics
+/// Panics when the cluster is empty or a profile is missing. Use
+/// [`try_model_prediction`] for a typed error.
+pub fn model_prediction(workload: &Workload, cluster: &ClusterSpec) -> ModelPrediction {
+    try_model_prediction(workload, cluster).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Table-4 style validation row.
@@ -53,23 +67,38 @@ pub struct ValidationReport {
     pub energy_error_pct: f64,
 }
 
-/// Validate the model against `samples` simulated jobs on `cluster`.
-pub fn validate(
+/// Validate the model against `samples` simulated jobs on `cluster`,
+/// reporting a typed error for an empty cluster or a missing profile.
+pub fn try_validate(
     workload: &Workload,
     cluster: &ClusterSpec,
     samples: usize,
     seed: u64,
-) -> ValidationReport {
-    let predicted = model_prediction(workload, cluster);
-    let sim = ClusterSim::new(workload, cluster).sample_jobs(samples, seed);
-    ValidationReport {
+) -> Result<ValidationReport, EnpropError> {
+    let predicted = try_model_prediction(workload, cluster)?;
+    let sim = ClusterSim::try_new(workload, cluster)?.sample_jobs(samples, seed);
+    Ok(ValidationReport {
         model_time: predicted.time,
         sim_time: sim.duration,
         model_energy: predicted.energy,
         sim_energy: sim.energy,
         time_error_pct: 100.0 * (predicted.time - sim.duration).abs() / sim.duration,
         energy_error_pct: 100.0 * (predicted.energy - sim.energy).abs() / sim.energy,
-    }
+    })
+}
+
+/// Validate the model against `samples` simulated jobs on `cluster`.
+///
+/// # Panics
+/// Panics when the cluster is empty or a profile is missing. Use
+/// [`try_validate`] for a typed error.
+pub fn validate(
+    workload: &Workload,
+    cluster: &ClusterSpec,
+    samples: usize,
+    seed: u64,
+) -> ValidationReport {
+    try_validate(workload, cluster, samples, seed).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]

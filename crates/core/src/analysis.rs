@@ -3,6 +3,7 @@
 //! (Table 8), and the reference-normalized power curves of Figs. 9–10.
 
 use crate::cluster_model::ClusterModel;
+use enprop_faults::EnpropError;
 use enprop_metrics::{GridSpec, PowerCurve, ProportionalityMetrics, SampledCurve};
 use enprop_workloads::{SingleNodeModel, Workload};
 
@@ -17,24 +18,56 @@ pub struct NodeMetricsRow {
     pub metrics: ProportionalityMetrics,
 }
 
-/// Table-7 row for one workload on one node type.
-pub fn single_node_row(workload: &Workload, node_name: &str) -> NodeMetricsRow {
-    let model = ClusterModel::single_node(workload.clone(), node_name);
-    NodeMetricsRow {
+/// Table-7 row for one workload on one node type, reporting a typed error
+/// when the node has no calibrated profile.
+pub fn try_single_node_row(
+    workload: &Workload,
+    node_name: &str,
+) -> Result<NodeMetricsRow, EnpropError> {
+    let node = workload.try_profile(node_name)?.spec.name;
+    let model = ClusterModel::try_single_node(workload.clone(), node_name)?;
+    Ok(NodeMetricsRow {
         workload: workload.name,
-        node: workload.profile_or_panic(node_name).spec.name,
+        node,
         metrics: model.metrics(),
-    }
+    })
+}
+
+/// Table-7 row for one workload on one node type.
+///
+/// # Panics
+/// Panics when the node has no calibrated profile. Use
+/// [`try_single_node_row`] for a typed error.
+pub fn single_node_row(workload: &Workload, node_name: &str) -> NodeMetricsRow {
+    try_single_node_row(workload, node_name).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The analytic single-node model for a workload/node pair at an arbitrary
+/// operating point, reporting a typed error when the node has no
+/// calibrated profile.
+pub fn try_single_node_model<'a>(
+    workload: &'a Workload,
+    node_name: &str,
+) -> Result<SingleNodeModel<'a>, EnpropError> {
+    let profile = workload.try_profile(node_name)?;
+    Ok(SingleNodeModel::new(
+        &profile.spec,
+        &profile.demand,
+        workload.io_rate,
+    ))
 }
 
 /// The analytic single-node model for a workload/node pair at an arbitrary
 /// operating point (used by the configuration sweeps).
+///
+/// # Panics
+/// Panics when the node has no calibrated profile. Use
+/// [`try_single_node_model`] for a typed error.
 pub fn single_node_model<'a>(
     workload: &'a Workload,
     node_name: &str,
 ) -> SingleNodeModel<'a> {
-    let profile = workload.profile_or_panic(node_name);
-    SingleNodeModel::new(&profile.spec, &profile.demand, workload.io_rate)
+    try_single_node_model(workload, node_name).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// The most energy-efficient (highest-PPR) operating point of one node
@@ -53,10 +86,14 @@ pub struct BestPpr {
 }
 
 /// Sweep every `(cores, frequency)` pair of the node and return the
-/// PPR-optimal one.
-pub fn best_ppr_config(workload: &Workload, node_name: &str) -> BestPpr {
-    let profile = workload.profile_or_panic(node_name);
-    let model = single_node_model(workload, node_name);
+/// PPR-optimal one, reporting a typed error when the node has no
+/// calibrated profile.
+pub fn try_best_ppr_config(
+    workload: &Workload,
+    node_name: &str,
+) -> Result<BestPpr, EnpropError> {
+    let profile = workload.try_profile(node_name)?;
+    let model = try_single_node_model(workload, node_name)?;
     let mut best: Option<BestPpr> = None;
     for c in 1..=profile.spec.cores {
         for &f in &profile.spec.frequencies {
@@ -71,7 +108,17 @@ pub fn best_ppr_config(workload: &Workload, node_name: &str) -> BestPpr {
             }
         }
     }
-    best.expect("node spec has at least one operating point")
+    Ok(best.expect("node spec has at least one operating point"))
+}
+
+/// Sweep every `(cores, frequency)` pair of the node and return the
+/// PPR-optimal one.
+///
+/// # Panics
+/// Panics when the node has no calibrated profile. Use
+/// [`try_best_ppr_config`] for a typed error.
+pub fn best_ppr_config(workload: &Workload, node_name: &str) -> BestPpr {
+    try_best_ppr_config(workload, node_name).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Table-8 style cluster metrics row.
@@ -152,7 +199,7 @@ mod tests {
             let w = catalog::by_name(name).unwrap();
             for node in ["A9", "K10"] {
                 let best = best_ppr_config(&w, node);
-                let spec = &w.profile_or_panic(node).spec;
+                let spec = &w.try_profile(node).unwrap().spec;
                 assert_eq!(best.cores, spec.cores, "{name} on {node}");
                 assert_eq!(best.freq, spec.fmax(), "{name} on {node}");
                 // And therefore the best PPR matches Table 6.

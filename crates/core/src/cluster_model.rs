@@ -8,7 +8,8 @@
 //! power curve linear in utilization — exactly why the paper's Table 7/8
 //! metrics collapse to functions of IPR.
 
-use enprop_clustersim::{rate_matched_split, ClusterSpec, WorkSplit};
+use enprop_clustersim::{try_rate_matched_split, ClusterSpec, WorkSplit};
+use enprop_faults::EnpropError;
 use enprop_metrics::{
     LinearCurve, PowerCurve, PprCurve, ProportionalityMetrics, ThroughputCurve,
 };
@@ -24,22 +25,42 @@ pub struct ClusterModel {
 }
 
 impl ClusterModel {
-    /// Bind a workload to a cluster configuration.
-    pub fn new(workload: Workload, cluster: ClusterSpec) -> Self {
-        let split = rate_matched_split(&workload, &cluster);
-        ClusterModel {
+    /// Bind a workload to a cluster configuration, reporting a typed error
+    /// for an empty cluster or a missing calibration profile.
+    pub fn try_new(workload: Workload, cluster: ClusterSpec) -> Result<Self, EnpropError> {
+        let split = try_rate_matched_split(&workload, &cluster)?;
+        Ok(ClusterModel {
             workload,
             cluster,
             split,
-        }
+        })
+    }
+
+    /// Bind a workload to a cluster configuration.
+    ///
+    /// # Panics
+    /// Panics when the cluster is empty or a profile is missing. Use
+    /// [`ClusterModel::try_new`] for a typed error.
+    pub fn new(workload: Workload, cluster: ClusterSpec) -> Self {
+        Self::try_new(workload, cluster).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// A single node of type `node_name` at full cores / max frequency,
+    /// reporting a typed error when the node has no calibrated profile.
+    pub fn try_single_node(workload: Workload, node_name: &str) -> Result<Self, EnpropError> {
+        let spec = workload.try_profile(node_name)?.spec.clone();
+        let group = enprop_clustersim::NodeGroup::full(spec, 1);
+        Self::try_new(workload, ClusterSpec::try_new(vec![group])?)
     }
 
     /// A single node of type `node_name` at full cores / max frequency —
     /// the Table 7 / Fig. 5 setting.
+    ///
+    /// # Panics
+    /// Panics when the node has no calibrated profile. Use
+    /// [`ClusterModel::try_single_node`] for a typed error.
     pub fn single_node(workload: Workload, node_name: &str) -> Self {
-        let spec = workload.profile_or_panic(node_name).spec.clone();
-        let group = enprop_clustersim::NodeGroup::full(spec, 1);
-        Self::new(workload, ClusterSpec::new(vec![group]))
+        Self::try_single_node(workload, node_name).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The workload being modeled.
@@ -76,7 +97,10 @@ impl ClusterModel {
             if g.count == 0 {
                 continue;
             }
-            let profile = self.workload.profile_or_panic(g.spec.name);
+            let profile = self
+                .workload
+                .try_profile(g.spec.name)
+                .expect("profiles validated at construction");
             let model = SingleNodeModel::new(&profile.spec, &profile.demand, self.workload.io_rate);
             let node_ops = self.split.ops_per_node[gi] * ops;
             energy += g.count as f64 * model.energy(node_ops, g.cores, g.freq).total();

@@ -45,7 +45,9 @@ mod validation;
 
 pub use analysis::{
     best_ppr_config, cluster_metrics_row, normalized_power_samples, quadratic_ablation,
-    single_node_model, single_node_row, BestPpr, NodeMetricsRow, QuadraticAblation,
+    single_node_model, single_node_row, try_best_ppr_config, try_single_node_model,
+    try_single_node_row, BestPpr, NodeMetricsRow, QuadraticAblation,
 };
 pub use cluster_model::ClusterModel;
+pub use enprop_faults::EnpropError;
 pub use validation::{table4, Table4Row, REFERENCE_VALIDATION_CLUSTER};

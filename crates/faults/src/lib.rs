@@ -1,0 +1,32 @@
+//! # enprop-faults
+//!
+//! The robustness layer of the reproduction: a **typed error surface**
+//! ([`EnpropError`]) shared by every enprop crate, plus deterministic
+//! **fault-injection plans** ([`FaultPlan`]) and job-level **recovery
+//! policies** ([`RetryPolicy`]) for the cluster simulator.
+//!
+//! The paper's model assumes fail-free nodes; its rate-matched split
+//! (§II-D) makes every node finish together, so a single slow or dead node
+//! stretches the whole job. This crate supplies the machinery to study
+//! exactly that: seeded per-(job, group, node) fault event streams —
+//! crashes, transient stalls, and straggler slowdowns — drawn from
+//! per-group MTBF models (exponential, Weibull, or a fixed schedule), and
+//! the retry/timeout/backoff policy the dispatcher applies when a job
+//! fails.
+//!
+//! The crate is dependency-free (its RNG is a self-contained
+//! SplitMix64/xoshiro pair) so it can sit below every other enprop crate.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+mod error;
+mod plan;
+mod retry;
+mod rng;
+
+pub use error::EnpropError;
+pub use plan::{FaultEvent, FaultKind, FaultPlan, GroupFaultProfile, MtbfModel};
+pub use retry::RetryPolicy;
+pub use rng::FaultRng;

@@ -197,25 +197,58 @@ pub fn characterize_dvfs_exponent(spec: &NodeSpec, frictions: &Frictions, seed: 
     let sim = NodeSim::new(spec.clone());
     let fmax = spec.fmax();
     let idle = spec.power.sys_idle_w;
+    // Repeat each frequency point: meter noise on total power becomes a
+    // large relative error on the *dynamic* component at low frequency
+    // (where P_dyn is a sliver of P_total), so a single run per point
+    // makes the regression swing by several tenths of an exponent.
+    const REPS: u64 = 4;
     let mut xs = Vec::new();
     let mut ys = Vec::new();
+    let mut ws = Vec::new();
     for (i, &f) in spec.frequencies.iter().enumerate() {
         // Work sized to the frequency so every run lasts ~10 s.
         let work = NodeWork {
             act_cycles: spec.cores as f64 * f * 10.0,
             ..Default::default()
         };
-        let run = sim.run(&work, spec.cores, f, frictions, seed.wrapping_add(i as u64));
-        let p_dyn = (run.energy.total() / run.duration - idle).max(1e-12);
+        let mut p_dyn = 0.0;
+        let mut p_total = 0.0;
+        for rep in 0..REPS {
+            let run = sim.run(
+                &work,
+                spec.cores,
+                f,
+                frictions,
+                seed.wrapping_add(i as u64).wrapping_add(rep.wrapping_mul(0x5DEE_CE66)),
+            );
+            let p = run.energy.total() / run.duration;
+            p_total += p / REPS as f64;
+            p_dyn += (p - idle).max(1e-12) / REPS as f64;
+        }
         xs.push((f / fmax).ln());
         ys.push(p_dyn.ln());
+        // Meter noise of relative size sigma on P_total lands on ln(P_dyn)
+        // amplified by P_total/P_dyn; weight each point by the inverse of
+        // that variance so the noise-dominated low-frequency points do not
+        // steer the fit.
+        let amp = p_total / p_dyn.max(1e-12);
+        ws.push(1.0 / (amp * amp));
     }
-    // Least-squares slope.
-    let n = xs.len() as f64;
-    let mx = xs.iter().sum::<f64>() / n;
-    let my = ys.iter().sum::<f64>() / n;
-    let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
-    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    // Weighted least-squares slope.
+    let wsum: f64 = ws.iter().sum();
+    let mx = xs.iter().zip(&ws).map(|(x, w)| x * w).sum::<f64>() / wsum;
+    let my = ys.iter().zip(&ws).map(|(y, w)| y * w).sum::<f64>() / wsum;
+    let sxy: f64 = xs
+        .iter()
+        .zip(&ys)
+        .zip(&ws)
+        .map(|((x, y), w)| w * (x - mx) * (y - my))
+        .sum();
+    let sxx: f64 = xs
+        .iter()
+        .zip(&ws)
+        .map(|(x, w)| w * (x - mx) * (x - mx))
+        .sum();
     sxy / sxx
 }
 

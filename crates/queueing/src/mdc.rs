@@ -164,7 +164,7 @@ pub fn simulate_mdc(q: &MDc, jobs: usize, warmup: usize, seed: u64) -> f64 {
             .iter()
             .enumerate()
             .min_by(|a, b| a.1.total_cmp(b.1))
-            .unwrap();
+            .expect("MDc::new guarantees servers >= 1");
         let start = clock.max(earliest);
         free[idx] = start + q.service;
         if i >= warmup {

@@ -16,12 +16,20 @@ fn md1_wait_cdf_matches_simulation_over_the_whole_curve() {
     let service = 0.01;
     for u in [0.3, 0.6, 0.8, 0.9] {
         let q = MD1::from_utilization(service, u);
-        let sim = QueueSim::md1(service, u).run(300_000, 30_000, 99);
-        // Waiting times = response − service (deterministic service).
-        let mut waits: Vec<f64> = sim
-            .response_samples
-            .iter()
-            .map(|r| (r - service).max(0.0))
+        // Pool several independent runs: near saturation the wait process
+        // is strongly autocorrelated, so one run's empirical CDF wobbles
+        // above the tolerance even at 300k jobs (same pattern as the
+        // deep-tail test below).
+        let mut waits: Vec<f64> = (0..4)
+            .flat_map(|s| {
+                QueueSim::md1(service, u)
+                    .run(300_000, 30_000, 99 + s)
+                    .response_samples
+                    .iter()
+                    // Waiting times = response − service (deterministic service).
+                    .map(|r| (r - service).max(0.0))
+                    .collect::<Vec<f64>>()
+            })
             .collect();
         waits.sort_by(f64::total_cmp);
 

@@ -170,11 +170,11 @@ mod tests {
     #[test]
     fn measured_targets_are_reproduced() {
         let w = custom();
-        let a9 = w.profile_or_panic("A9");
+        let a9 = w.try_profile("A9").unwrap();
         let m = SingleNodeModel::new(&a9.spec, &a9.demand, w.io_rate);
         assert!((m.throughput(4, a9.spec.fmax()) - 1.5e6).abs() / 1.5e6 < 1e-9);
         assert!((m.busy_power(4, a9.spec.fmax()) - 2.4).abs() < 1e-9);
-        let k10 = w.profile_or_panic("K10");
+        let k10 = w.try_profile("K10").unwrap();
         let m = SingleNodeModel::new(&k10.spec, &k10.demand, w.io_rate);
         assert!((m.throughput(6, k10.spec.fmax()) - 8.0e6).abs() / 8.0e6 < 1e-9);
         assert!((m.busy_power(6, k10.spec.fmax()) - 62.0).abs() < 1e-9);
@@ -185,7 +185,7 @@ mod tests {
         // The custom workload must work end to end like catalog ones.
         use enprop_nodesim::NodeSim;
         let w = custom();
-        let p = w.profile_or_panic("K10");
+        let p = w.try_profile("K10").unwrap();
         let run = NodeSim::new(p.spec.clone()).run(
             &w.node_work(p, 1000.0),
             p.spec.cores,

@@ -208,7 +208,7 @@ mod tests {
         for w in all() {
             let row = paper_row(w.name).unwrap();
             for (profile, targets) in
-                [(w.profile_or_panic("A9"), &row.a9), (w.profile_or_panic("K10"), &row.k10)]
+                [(w.try_profile("A9").unwrap(), &row.a9), (w.try_profile("K10").unwrap(), &row.k10)]
             {
                 let m = SingleNodeModel::new(&profile.spec, &profile.demand, w.io_rate);
                 let ppr = m.ppr(profile.spec.cores, profile.spec.fmax());
@@ -223,7 +223,7 @@ mod tests {
         for w in all() {
             let row = paper_row(w.name).unwrap();
             for (profile, targets) in
-                [(w.profile_or_panic("A9"), &row.a9), (w.profile_or_panic("K10"), &row.k10)]
+                [(w.try_profile("A9").unwrap(), &row.a9), (w.try_profile("K10").unwrap(), &row.k10)]
             {
                 let m = SingleNodeModel::new(&profile.spec, &profile.demand, w.io_rate);
                 let p_busy = m.busy_power(profile.spec.cores, profile.spec.fmax());
@@ -255,11 +255,11 @@ mod tests {
     fn memcached_lambda_binds_only_k10() {
         let w = by_name("memcached").unwrap();
         assert!(w.io_rate > 0.0);
-        let k10 = w.profile_or_panic("K10");
+        let k10 = w.try_profile("K10").unwrap();
         let m = SingleNodeModel::new(&k10.spec, &k10.demand, w.io_rate);
         let t = m.time(1.0e6, 6, k10.spec.fmax());
         assert!(t.io > t.cpu, "K10 memcached must be I/O-bound");
-        let a9 = w.profile_or_panic("A9");
+        let a9 = w.try_profile("A9").unwrap();
         let m = SingleNodeModel::new(&a9.spec, &a9.demand, w.io_rate);
         let t = m.time(1.0e6, 4, a9.spec.fmax());
         // transfer-bound, not λ-bound
@@ -274,8 +274,8 @@ mod tests {
         let ep = by_name("EP").unwrap();
         let x264 = by_name("x264").unwrap();
         let cluster_thru = |w: &Workload| {
-            let a9 = w.profile_or_panic("A9");
-            let k10 = w.profile_or_panic("K10");
+            let a9 = w.try_profile("A9").unwrap();
+            let k10 = w.try_profile("K10").unwrap();
             let ma = SingleNodeModel::new(&a9.spec, &a9.demand, w.io_rate);
             let mk = SingleNodeModel::new(&k10.spec, &k10.demand, w.io_rate);
             32.0 * ma.throughput(4, a9.spec.fmax()) + 12.0 * mk.throughput(6, k10.spec.fmax())
@@ -385,7 +385,7 @@ mod extended_tests {
     fn synthesis_rules_hold() {
         let w = extended("EP").unwrap();
         let thru = |node: &str| {
-            let p = w.profile_or_panic(node);
+            let p = w.try_profile(node).unwrap();
             SingleNodeModel::new(&p.spec, &p.demand, w.io_rate)
                 .throughput(p.spec.cores, p.spec.fmax())
         };
@@ -397,7 +397,7 @@ mod extended_tests {
     fn newer_nodes_are_more_proportional() {
         let w = extended("blackscholes").unwrap();
         let ipr = |node: &str| {
-            let p = w.profile_or_panic(node);
+            let p = w.try_profile(node).unwrap();
             let m = SingleNodeModel::new(&p.spec, &p.demand, w.io_rate);
             p.spec.power.sys_idle_w / m.busy_power(p.spec.cores, p.spec.fmax())
         };
@@ -409,11 +409,11 @@ mod extended_tests {
     fn extended_memcached_is_not_lambda_bound() {
         let w = extended("memcached").unwrap();
         for node in ["A15", "XeonE5"] {
-            let p = w.profile_or_panic(node);
+            let p = w.try_profile(node).unwrap();
             assert_eq!(p.demand.io_requests_per_op, 0.0, "{node}");
         }
         // ...while the original K10 remains λ-bound.
         assert!(w.io_rate > 0.0);
-        assert!(w.profile_or_panic("K10").demand.io_requests_per_op > 0.0);
+        assert!(w.try_profile("K10").unwrap().demand.io_requests_per_op > 0.0);
     }
 }

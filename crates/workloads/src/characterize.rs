@@ -167,7 +167,7 @@ mod host_calibration_tests {
         // Throughputs scale with the node cycle budgets: K10 (6 × 2.1 GHz)
         // vs A9 (4 × 1.4 GHz) → 2.25×.
         let thru = |node: &str| {
-            let p = w.profile_or_panic(node);
+            let p = w.try_profile(node).unwrap();
             crate::SingleNodeModel::new(&p.spec, &p.demand, w.io_rate)
                 .throughput(p.spec.cores, p.spec.fmax())
         };

@@ -1,6 +1,7 @@
 //! Workload service-demand representation (paper Table 1 workload
 //! parameters).
 
+use enprop_faults::EnpropError;
 use enprop_nodesim::{Frictions, NodeSpec, NodeWork};
 
 /// Per-operation service demand of a workload on one node type.
@@ -78,15 +79,25 @@ impl Workload {
         self.profiles.iter().find(|p| p.spec.name == node_name)
     }
 
-    /// Like [`Workload::profile`] but panics with a clear message — for
-    /// analysis code where a missing calibration is a programming error.
+    /// Look up the profile for a node type, reporting a typed error when
+    /// the calibration is missing — the fallible twin of
+    /// [`Workload::profile`] for library code that propagates errors.
+    pub fn try_profile(&self, node_name: &str) -> Result<&NodeProfile, EnpropError> {
+        self.profile(node_name)
+            .ok_or_else(|| EnpropError::MissingProfile {
+                workload: self.name.to_string(),
+                node: node_name.to_string(),
+            })
+    }
+
+    /// Like [`Workload::profile`] but panics with a clear message.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `try_profile` and propagate the `EnpropError` instead of panicking"
+    )]
     pub fn profile_or_panic(&self, node_name: &str) -> &NodeProfile {
-        self.profile(node_name).unwrap_or_else(|| {
-            panic!(
-                "workload {} has no calibrated profile for node type {node_name}",
-                self.name
-            )
-        })
+        self.try_profile(node_name)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Build the simulator work demand for executing `ops` operations of
@@ -132,7 +143,22 @@ mod tests {
     }
 
     #[test]
+    fn try_profile_reports_typed_error() {
+        let w = toy_workload();
+        assert!(w.try_profile("A9").is_ok());
+        let err = w.try_profile("K10").unwrap_err();
+        assert_eq!(
+            err,
+            EnpropError::MissingProfile {
+                workload: "toy".into(),
+                node: "K10".into()
+            }
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "no calibrated profile")]
+    #[allow(deprecated)]
     fn missing_profile_panics_with_context() {
         toy_workload().profile_or_panic("K10");
     }

@@ -32,8 +32,8 @@ fn main() {
         // Cross-check with the discrete-event dispatcher over simulated
         // service times (includes OS jitter and protocol overheads).
         let sim = ClusterSim::new(&workload, &cluster);
-        let queue = ClusterQueueSim::new(&sim, 12, 42);
-        let res = queue.run(load, 20_000, 2_000, 7);
+        let queue = ClusterQueueSim::new(&sim, 12, 42).expect("non-empty pool");
+        let res = queue.run(load, 20_000, 2_000, 7).expect("stable load");
         let p95_sim = res.quantile(0.95).unwrap();
 
         println!(

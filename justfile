@@ -1,0 +1,22 @@
+# Developer task runner. `just verify` is the gate every PR must pass;
+# `./scripts/verify.sh` is the no-just fallback.
+
+# Build, test and lint the whole workspace (warnings are errors).
+verify:
+    cargo build --release --workspace --offline
+    cargo test -q --workspace --offline
+    cargo clippy --workspace --all-targets --offline -- -D warnings
+
+# Fast signal while iterating.
+check:
+    cargo check --workspace --offline
+
+test:
+    cargo test -q --workspace --offline
+
+lint:
+    cargo clippy --workspace --all-targets --offline -- -D warnings
+
+# Regenerate every paper artifact.
+repro:
+    cargo run --release -p enprop-cli --offline -- all

@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# Full verification gate: build, test, lint (warnings are errors).
+# Mirrors `just verify` for hosts without just.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace --offline
+echo "==> cargo test"
+cargo test -q --workspace --offline
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+echo "verify: OK"

@@ -38,10 +38,10 @@ fn md1_p95_matches_cluster_dispatcher_sim() {
     let w = catalog::by_name("EP").unwrap();
     let cluster = ClusterSpec::a9_k10(8, 4);
     let sim = ClusterSim::new(&w, &cluster);
-    let queue = ClusterQueueSim::new(&sim, 16, 5);
+    let queue = ClusterQueueSim::new(&sim, 16, 5).unwrap();
 
     for u in [0.4, 0.7, 0.85] {
-        let res = queue.run(u, 40_000, 4_000, 9);
+        let res = queue.run(u, 40_000, 4_000, 9).unwrap();
         let p95_sim = res.quantile(0.95).unwrap();
         // Feed the *simulated* mean service time to the analytic queue so
         // the comparison isolates the queueing model itself.
@@ -76,7 +76,7 @@ fn peak_throughput_within_friction_gap() {
 fn frictionless_node_energy_matches_model_components() {
     use enprop::nodesim::NodeSim;
     let w = catalog::by_name("blackscholes").unwrap();
-    let profile = w.profile_or_panic("K10");
+    let profile = w.try_profile("K10").unwrap();
     let m = SingleNodeModel::new(&profile.spec, &profile.demand, w.io_rate);
     let ops = 10_000.0;
     let spec = &profile.spec;

@@ -1,0 +1,46 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::{Strategy, TestRng};
+use std::ops::Range;
+
+/// Strategy for `Vec<S::Value>` with a random length drawn from a range.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        assert!(self.size.start < self.size.end, "empty vec size range");
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `proptest::collection::vec(element, len_range)`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TestRng;
+
+    #[test]
+    fn vec_of_tuples_respects_len_and_bounds() {
+        let strat = vec((0u8..3, 0u16..64), 1..20);
+        let mut rng = TestRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((1..20).contains(&v.len()));
+            for (a, b) in v {
+                assert!(a < 3);
+                assert!(b < 64);
+            }
+        }
+    }
+}

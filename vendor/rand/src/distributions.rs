@@ -1,0 +1,244 @@
+//! Standard and uniform sampling, algorithm-compatible with rand 0.8.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// A sampling distribution over `T`.
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of a type: uniform over all values for
+/// integers, uniform in `[0, 1)` for floats.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // rand 0.8: 53-bit multiply-based conversion.
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / ((1u64 << 53) as f64))
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / ((1u32 << 24) as f32))
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty => $m:ident),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.$m() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32,
+              i8 => next_u32, i16 => next_u32, i32 => next_u32,
+              u64 => next_u64, i64 => next_u64, usize => next_u64, isize => next_u64);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        // rand 0.8 draws low bits first.
+        let lo = rng.next_u64() as u128;
+        let hi = rng.next_u64() as u128;
+        (hi << 64) | lo
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // rand 0.8: highest bit of a u32 draw.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+/// Marker trait: `T` supports uniform range sampling.
+pub trait SampleUniform: Sized {}
+
+/// A range argument accepted by `Rng::gen_range`.
+pub trait SampleRange<T> {
+    /// Sample one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty as $u:ty),*) => {$(
+        impl SampleUniform for $t {}
+
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // rand 0.8 sample_single: widening multiply with rejection
+                // zone derived from the range's leading zeros.
+                let range = self.end.wrapping_sub(self.start) as $u;
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v: $u = wide_draw::<$u, R>(rng);
+                    let (hi, lo) = wmul::<$u>(v, range);
+                    if lo <= zone {
+                        return self.start.wrapping_add(hi as $t);
+                    }
+                }
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let range = (end.wrapping_sub(start) as $u).wrapping_add(1);
+                if range == 0 {
+                    // Full domain.
+                    return wide_draw::<$u, R>(rng) as $t;
+                }
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v: $u = wide_draw::<$u, R>(rng);
+                    let (hi, lo) = wmul::<$u>(v, range);
+                    if lo <= zone {
+                        return start.wrapping_add(hi as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+uniform_int!(u8 as u32, u16 as u32, u32 as u32, i8 as u32, i16 as u32, i32 as u32,
+             u64 as u64, i64 as u64, usize as u64, isize as u64, u128 as u128, i128 as u128);
+
+/// Widening multiply helper: high and low halves of `a * b`.
+trait WideMul: Copy {
+    fn wmul(self, b: Self) -> (Self, Self);
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl WideMul for u32 {
+    fn wmul(self, b: Self) -> (Self, Self) {
+        let t = self as u64 * b as u64;
+        ((t >> 32) as u32, t as u32)
+    }
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl WideMul for u64 {
+    fn wmul(self, b: Self) -> (Self, Self) {
+        let t = self as u128 * b as u128;
+        ((t >> 64) as u64, t as u64)
+    }
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl WideMul for u128 {
+    fn wmul(self, b: Self) -> (Self, Self) {
+        // Schoolbook 128×128 → 256-bit multiply from 64-bit halves.
+        let (a_hi, a_lo) = (self >> 64, self & u64::MAX as u128);
+        let (b_hi, b_lo) = (b >> 64, b & u64::MAX as u128);
+        let ll = a_lo * b_lo;
+        let lh = a_lo * b_hi;
+        let hl = a_hi * b_lo;
+        let hh = a_hi * b_hi;
+        let mid = (ll >> 64) + (lh & u64::MAX as u128) + (hl & u64::MAX as u128);
+        let lo = (mid << 64) | (ll & u64::MAX as u128);
+        let hi = hh + (lh >> 64) + (hl >> 64) + (mid >> 64);
+        (hi, lo)
+    }
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let lo = rng.next_u64() as u128;
+        let hi = rng.next_u64() as u128;
+        (hi << 64) | lo
+    }
+}
+
+fn wmul<T: WideMul>(a: T, b: T) -> (T, T) {
+    a.wmul(b)
+}
+
+fn wide_draw<T: WideMul, R: RngCore + ?Sized>(rng: &mut R) -> T {
+    T::draw(rng)
+}
+
+/// rand 0.8 float sampling: draw a mantissa-uniform value in `[1, 2)`,
+/// shift to `[0, 1)`, then scale into the range.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    let value1_2 = f64::from_bits((1023u64 << 52) | (rng.next_u64() >> 12));
+    value1_2 - 1.0
+}
+
+fn unit_f32<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+    let value1_2 = f32::from_bits((127u32 << 23) | (rng.next_u32() >> 9));
+    value1_2 - 1.0
+}
+
+macro_rules! uniform_float {
+    ($($t:ty => $unit:ident),*) => {$(
+        impl SampleUniform for $t {}
+
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let scale = self.end - self.start;
+                $unit(rng) * scale + self.start
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                if start == end {
+                    return start;
+                }
+                // rand 0.8 treats inclusive float ranges like half-open
+                // ones for single-shot sampling.
+                let scale = end - start;
+                $unit(rng) * scale + start
+            }
+        }
+    )*};
+}
+
+uniform_float!(f64 => unit_f64, f32 => unit_f32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn int_ranges_stay_in_bounds_and_hit_extremes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let v = rng.gen_range(3u32..7);
+            assert!((3..7).contains(&v));
+            seen_lo |= v == 3;
+            seen_hi |= v == 6;
+        }
+        assert!(seen_lo && seen_hi);
+        for _ in 0..2000 {
+            let v = rng.gen_range(0usize..=4);
+            assert!(v <= 4);
+        }
+    }
+
+    #[test]
+    fn float_range_uniformity_rough() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_range(2.0f64..4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.02, "mean {mean}");
+    }
+}

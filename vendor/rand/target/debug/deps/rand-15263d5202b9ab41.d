@@ -1,0 +1,7 @@
+/root/repo/vendor/rand/target/debug/deps/rand-15263d5202b9ab41.d: src/lib.rs src/distributions.rs src/rngs.rs
+
+/root/repo/vendor/rand/target/debug/deps/rand-15263d5202b9ab41: src/lib.rs src/distributions.rs src/rngs.rs
+
+src/lib.rs:
+src/distributions.rs:
+src/rngs.rs:

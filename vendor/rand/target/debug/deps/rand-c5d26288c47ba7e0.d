@@ -1,0 +1,9 @@
+/root/repo/vendor/rand/target/debug/deps/rand-c5d26288c47ba7e0.d: src/lib.rs src/distributions.rs src/rngs.rs
+
+/root/repo/vendor/rand/target/debug/deps/librand-c5d26288c47ba7e0.rlib: src/lib.rs src/distributions.rs src/rngs.rs
+
+/root/repo/vendor/rand/target/debug/deps/librand-c5d26288c47ba7e0.rmeta: src/lib.rs src/distributions.rs src/rngs.rs
+
+src/lib.rs:
+src/distributions.rs:
+src/rngs.rs:

@@ -1,0 +1,170 @@
+//! Offline drop-in subset of `rayon`.
+//!
+//! Vendored because the build environment cannot reach crates.io. The
+//! `par_iter`/`into_par_iter` API surface this workspace uses is provided
+//! with *sequential* execution: every adaptor preserves rayon's semantics
+//! (same results, same reduction identities) without threads. Swap back to
+//! the real crate by deleting the `[patch.crates-io]` entry.
+
+#![forbid(unsafe_code)]
+
+/// Number of worker threads rayon would use (the host's available
+/// parallelism; this stub still reports it so chunking heuristics keep
+/// their shape).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// A "parallel" iterator: a thin wrapper over a sequential iterator that
+/// exposes rayon's method set (notably `reduce` with an identity factory,
+/// which differs from `Iterator::reduce`).
+#[derive(Debug, Clone)]
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// Map each item.
+    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    /// Keep items matching the predicate.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter(self.0.filter(f))
+    }
+
+    /// Map then flatten.
+    pub fn flat_map<O: IntoIterator, F: FnMut(I::Item) -> O>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FlatMap<I, O, F>> {
+        ParIter(self.0.flat_map(f))
+    }
+
+    /// Run `f` on every item.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f);
+    }
+
+    /// Sum all items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Count items.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Collect into any `FromIterator` container (rayon supports `Vec`,
+    /// maps, etc.; sequentially every container works).
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// rayon-style reduce: fold from an identity factory. Sequential fold
+    /// gives the same result for associative operators, which rayon
+    /// requires anyway.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Minimum by comparator.
+    pub fn min_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(
+        self,
+        f: F,
+    ) -> Option<I::Item> {
+        self.0.min_by(f)
+    }
+
+    /// Maximum by comparator.
+    pub fn max_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(
+        self,
+        f: F,
+    ) -> Option<I::Item> {
+        self.0.max_by(f)
+    }
+
+    /// Minimum by key.
+    pub fn min_by_key<K: Ord, F: FnMut(&I::Item) -> K>(self, f: F) -> Option<I::Item> {
+        self.0.min_by_key(f)
+    }
+
+    /// Whether any item satisfies the predicate.
+    pub fn any<F: FnMut(I::Item) -> bool>(self, mut f: F) -> bool {
+        let mut it = self.0;
+        it.any(&mut f)
+    }
+
+    /// Whether all items satisfy the predicate.
+    pub fn all<F: FnMut(I::Item) -> bool>(self, mut f: F) -> bool {
+        let mut it = self.0;
+        it.all(&mut f)
+    }
+}
+
+/// Owning conversion into a parallel iterator.
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    /// rayon's `into_par_iter`.
+    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {}
+
+/// Borrowing conversion (`par_iter`) for slice-like containers.
+pub trait IntoParallelRefIterator<'data> {
+    /// Item type yielded by reference.
+    type Iter: Iterator;
+
+    /// rayon's `par_iter`.
+    fn par_iter(&'data self) -> ParIter<Self::Iter>;
+}
+
+impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+    type Iter = std::slice::Iter<'data, T>;
+
+    fn par_iter(&'data self) -> ParIter<Self::Iter> {
+        ParIter(self.iter())
+    }
+}
+
+impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Iter = std::slice::Iter<'data, T>;
+
+    fn par_iter(&'data self) -> ParIter<Self::Iter> {
+        ParIter(self.as_slice().iter())
+    }
+}
+
+/// The names user code imports with `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn reduce_matches_fold_semantics() {
+        let total = (0u64..100)
+            .into_par_iter()
+            .map(|i| i * 2)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 9900);
+    }
+
+    #[test]
+    fn par_iter_over_vec_and_slice() {
+        let v = vec![1, 2, 3, 4];
+        let s: i32 = v.par_iter().map(|x| x * x).sum();
+        assert_eq!(s, 30);
+        let slice: &[i32] = &v;
+        assert_eq!(slice.par_iter().count(), 4);
+    }
+}
