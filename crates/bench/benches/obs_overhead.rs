@@ -1,0 +1,42 @@
+//! Telemetry overhead bench: the uninstrumented job path vs the same path
+//! threaded through a no-op recorder (must be free), a switched-off
+//! runtime recorder (one branch per event site), and a full in-memory
+//! recorder (the real cost of recording).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use enprop_clustersim::{ClusterSim, ClusterSpec};
+use enprop_obs::{MemoryRecorder, Recorder, SwitchRecorder, Track};
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let w = enprop_workloads::catalog::by_name("EP").unwrap();
+    let cluster = ClusterSpec::a9_k10(8, 4);
+    let sim = ClusterSim::new(&w, &cluster);
+    let mut group = c.benchmark_group("obs_overhead");
+
+    group.bench_function("run_job_plain", |b| b.iter(|| sim.run_job(7)));
+    group.bench_function("run_job_obs_switch_off", |b| {
+        let mut rec = SwitchRecorder::Off;
+        b.iter(|| sim.run_job_obs(7, 0.0, &mut rec))
+    });
+    group.bench_function("run_job_obs_memory", |b| {
+        b.iter(|| {
+            let mut rec = MemoryRecorder::new();
+            sim.run_job_obs(7, 0.0, &mut rec)
+        })
+    });
+
+    // The raw recording cost per event, isolated from the simulator.
+    group.bench_function("memory_recorder_span_pair", |b| {
+        let mut rec = MemoryRecorder::new();
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            rec.span_begin(0.0, Track::Cluster, "job", id);
+            rec.span_end(1.0, Track::Cluster, "job", id);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

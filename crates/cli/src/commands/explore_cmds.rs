@@ -7,7 +7,6 @@ use enprop_explore::{
     count_configurations, enumerate_configurations, evaluate_space, pareto_front, sweet_spot,
     TypeSpace,
 };
-use enprop_workloads::catalog;
 
 /// Footnote 4: the configuration count for 10 ARM + 10 AMD nodes.
 pub fn footnote4_cmd(_opts: &Opts) {
@@ -26,10 +25,7 @@ pub fn footnote4_cmd(_opts: &Opts) {
 /// Pareto frontier of a bounded configuration space for one workload.
 pub fn pareto_cmd(opts: &Opts, a9_max: u32, k10_max: u32) {
     let name = opts.workload.clone().unwrap_or_else(|| "EP".into());
-    let Some(w) = catalog::by_name(&name) else {
-        eprintln!("unknown workload {name}");
-        std::process::exit(2);
-    };
+    let w = super::resolve_workload(&name);
     let types = [TypeSpace::a9(a9_max), TypeSpace::k10(k10_max)];
     let n = count_configurations(&types);
     println!(
@@ -77,10 +73,7 @@ pub fn pareto_cmd(opts: &Opts, a9_max: u32, k10_max: u32) {
 /// Sweet-spot query: minimum-energy configuration under a deadline.
 pub fn sweet_cmd(opts: &Opts, a9_max: u32, k10_max: u32, deadline: f64) {
     let name = opts.workload.clone().unwrap_or_else(|| "EP".into());
-    let Some(w) = catalog::by_name(&name) else {
-        eprintln!("unknown workload {name}");
-        std::process::exit(2);
-    };
+    let w = super::resolve_workload(&name);
     let types = [TypeSpace::a9(a9_max), TypeSpace::k10(k10_max)];
     let evald = evaluate_space(&w, enumerate_configurations(&types));
     println!("Sweet spot for {name} with deadline {deadline} s:\n");
@@ -104,20 +97,21 @@ pub fn sweet_cmd(opts: &Opts, a9_max: u32, k10_max: u32, deadline: f64) {
     }
 }
 
-/// Power trace of one observation interval (simulated WT210 log).
-pub fn trace_cmd(opts: &Opts, utilization: f64) {
+/// Power trace of one observation interval (simulated WT210 log). The
+/// trace itself is derived from the recorder's power-sample stream; with
+/// `--trace-out` the same samples land in the exported trace.
+pub fn trace_cmd(opts: &Opts, utilization: f64, ctx: &mut super::ObsCtx) {
     use enprop_clustersim::{ClusterSim, ClusterSpec};
-    use enprop_workloads::catalog;
     let name = opts.workload.clone().unwrap_or_else(|| "EP".into());
-    let Some(w) = catalog::by_name(&name) else {
-        eprintln!("unknown workload {name}");
-        std::process::exit(2);
-    };
+    let w = super::resolve_workload(&name);
     let cluster = ClusterSpec::a9_k10(8, 2);
     let sim = ClusterSim::new(&w, &cluster);
     let mean = sim.sample_jobs(3, opts.seed);
     let period = mean.duration * 20.0;
-    let trace = sim.power_trace(utilization, period, opts.seed);
+    let trace = match ctx.rec.as_memory_mut() {
+        Some(m) => sim.power_trace_obs(utilization, period, opts.seed, m),
+        None => sim.power_trace(utilization, period, opts.seed),
+    };
     println!(
         "Power trace: {name} on {} at {:.0}% load over {:.2} s\n",
         cluster.label(),
@@ -148,12 +142,8 @@ pub fn trace_cmd(opts: &Opts, utilization: f64) {
 /// Heuristic search demo: sweet spot without enumeration.
 pub fn search_cmd(opts: &Opts, a9_max: u32, k10_max: u32, deadline: f64) {
     use enprop_explore::local_search;
-    use enprop_workloads::catalog;
     let name = opts.workload.clone().unwrap_or_else(|| "EP".into());
-    let Some(w) = catalog::by_name(&name) else {
-        eprintln!("unknown workload {name}");
-        std::process::exit(2);
-    };
+    let w = super::resolve_workload(&name);
     let types = [TypeSpace::a9(a9_max), TypeSpace::k10(k10_max)];
     let space = count_configurations(&types);
     let result = local_search(&w, &types, deadline, 12, opts.seed);
@@ -184,12 +174,8 @@ pub fn search_cmd(opts: &Opts, a9_max: u32, k10_max: u32, deadline: f64) {
 /// Export the evaluated configuration space as CSV (for external
 /// analysis/plotting tools).
 pub fn export_cmd(opts: &Opts, a9_max: u32, k10_max: u32) {
-    use enprop_workloads::catalog;
     let name = opts.workload.clone().unwrap_or_else(|| "EP".into());
-    let Some(w) = catalog::by_name(&name) else {
-        eprintln!("unknown workload {name}");
-        std::process::exit(2);
-    };
+    let w = super::resolve_workload(&name);
     let types = [TypeSpace::a9(a9_max), TypeSpace::k10(k10_max)];
     let evald = evaluate_space(&w, enumerate_configurations(&types));
     let front: std::collections::HashSet<String> = pareto_front(&evald)

@@ -1,7 +1,7 @@
 //! `enprop faults` — fault-injection study: job time/energy and dispatcher
 //! tail latency under node crashes, stalls and stragglers, with recovery.
 
-use super::Opts;
+use super::{ObsCtx, Opts};
 use crate::output::render_csv;
 use enprop_clustersim::{
     ClusterQueueSim, ClusterSim, ClusterSpec, EnpropError, FaultKind, FaultPlan,
@@ -43,8 +43,16 @@ impl Default for FaultOpts {
     }
 }
 
-/// Run the fault-injection study and print a report (or CSV rows).
-pub fn faults_cmd(opts: &Opts, fo: &FaultOpts, a9: u32, k10: u32) -> Result<(), EnpropError> {
+/// Run the fault-injection study and print a report (or CSV rows). The
+/// sampled jobs land back-to-back on the telemetry trace when recording
+/// is on: attempt/recovery/backoff spans, fault instants, retry counters.
+pub fn faults_cmd(
+    opts: &Opts,
+    fo: &FaultOpts,
+    a9: u32,
+    k10: u32,
+    ctx: &mut ObsCtx,
+) -> Result<(), EnpropError> {
     let name = opts.workload.clone().unwrap_or_else(|| "EP".into());
     let workload = catalog::by_name(&name).ok_or_else(|| {
         EnpropError::invalid_config(format!("unknown workload {name}; see --help"))
@@ -132,10 +140,12 @@ pub fn faults_cmd(opts: &Opts, fo: &FaultOpts, a9: u32, k10: u32) -> Result<(), 
     let mut redispatched = 0.0;
     let mut exhausted = 0usize;
     let mut completed = 0usize;
+    let mut t_cursor = 0.0;
     for j in 0..fo.jobs {
         let seed = opts.seed.wrapping_add(j as u64 * 104_729);
-        match sim.run_job_under_plan(&plan, &policy, seed) {
+        match sim.run_job_under_plan_obs(&plan, &policy, seed, t_cursor, &mut ctx.rec) {
             Ok(f) => {
+                t_cursor += f.run.duration;
                 completed += 1;
                 dur_sum += f.run.duration;
                 energy_sum += f.run.energy;
@@ -158,7 +168,10 @@ pub fn faults_cmd(opts: &Opts, fo: &FaultOpts, a9: u32, k10: u32) -> Result<(), 
                     ]);
                 }
             }
-            Err(EnpropError::RetryBudgetExhausted { .. }) => exhausted += 1,
+            Err(EnpropError::RetryBudgetExhausted { .. }) => {
+                t_cursor += base.duration;
+                exhausted += 1;
+            }
             Err(e) => return Err(e),
         }
     }
@@ -200,12 +213,12 @@ pub fn faults_cmd(opts: &Opts, fo: &FaultOpts, a9: u32, k10: u32) -> Result<(), 
     // queue and compare against the clean pool at the same offered load.
     let pool = 16;
     let clean = ClusterQueueSim::new(&sim, pool, opts.seed)?;
-    match ClusterQueueSim::with_faults(&sim, pool, opts.seed, &plan, &policy) {
+    match ClusterQueueSim::with_faults_obs(&sim, pool, opts.seed, &plan, &policy, &mut ctx.rec) {
         Ok(faulted) => {
             let jobs = 40_000;
             let warmup = 4_000;
             let c = clean.run(fo.utilization, jobs, warmup, opts.seed)?;
-            let f = faulted.run(fo.utilization, jobs, warmup, opts.seed)?;
+            let f = faulted.run_obs(fo.utilization, jobs, warmup, opts.seed, &mut ctx.rec)?;
             println!(
                 "\n  dispatcher queue at u = {:.2} ({} pooled service times, {} retried):",
                 fo.utilization,

@@ -8,6 +8,34 @@ pub mod figures;
 pub mod strategies;
 pub mod tables;
 
+use enprop_obs::SwitchRecorder;
+use enprop_workloads::{catalog, Workload};
+use std::path::PathBuf;
+
+/// Telemetry context threaded through instrumented commands: the runtime
+/// on/off recorder plus where (if anywhere) to write the exports.
+pub struct ObsCtx {
+    /// `On` when `--trace-out` or `--metrics-out` was given.
+    pub rec: SwitchRecorder,
+    /// Chrome-trace (or `.jsonl` event-stream) output path.
+    pub trace_out: Option<PathBuf>,
+    /// Metrics-snapshot JSON (or `.csv`) output path.
+    pub metrics_out: Option<PathBuf>,
+}
+
+/// Look a workload up by name, or print the catalog to stderr and exit
+/// with the invalid-configuration code (the one place every command's
+/// `--workload` diagnostics funnel through).
+pub fn resolve_workload(name: &str) -> Workload {
+    catalog::by_name(name).unwrap_or_else(|| {
+        crate::diag::error(format!("unknown workload {name}; choose from:"));
+        for w in catalog::all() {
+            crate::diag::error(format!("  {}", w.name));
+        }
+        std::process::exit(2);
+    })
+}
+
 /// Shared command options parsed from the command line.
 #[derive(Debug, Clone)]
 pub struct Opts {

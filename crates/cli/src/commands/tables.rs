@@ -1,9 +1,10 @@
 //! Regeneration of the paper's Tables 4, 6, 7 and 8.
 
-use super::Opts;
+use super::{ObsCtx, Opts};
+use crate::diag;
 use crate::output::{fmt_sig, render_csv, render_table};
 use enprop_clustersim::ClusterSpec;
-use enprop_core::{best_ppr_config, single_node_row, table4, ClusterModel};
+use enprop_core::{best_ppr_config, single_node_row, table4_obs, ClusterModel};
 use enprop_workloads::catalog;
 
 fn emit(opts: &Opts, rows: Vec<Vec<String>>) {
@@ -15,7 +16,8 @@ fn emit(opts: &Opts, rows: Vec<Vec<String>>) {
 }
 
 /// Table 4: cluster validation — model vs simulated testbed errors.
-pub fn table4_cmd(opts: &Opts) {
+/// The validation jobs land on the telemetry trace when recording is on.
+pub fn table4_cmd(opts: &Opts, ctx: &mut ObsCtx) {
     println!("Table 4: Cluster validation (model vs simulated measurement)\n");
     let mut rows = vec![vec![
         "Domain".into(),
@@ -25,7 +27,7 @@ pub fn table4_cmd(opts: &Opts) {
         "Energy err [%]".into(),
         "Paper [%]".into(),
     ]];
-    for row in table4(opts.samples, opts.seed) {
+    for row in table4_obs(opts.samples, opts.seed, &mut ctx.rec) {
         rows.push(vec![
             row.domain.into(),
             row.program.into(),
@@ -96,9 +98,9 @@ pub fn table7_cmd(opts: &Opts) {
     }
     emit(opts, rows);
     if !opts.csv {
-        println!(
+        diag::note(
             "\nNote (§III-B): all four metrics collapse to functions of IPR for the\n\
-             linear model curves; absolute idle powers differ 25x (A9 1.8 W, K10 45 W)."
+             linear model curves; absolute idle powers differ 25x (A9 1.8 W, K10 45 W).",
         );
     }
 }
@@ -132,11 +134,11 @@ pub fn table8_cmd(opts: &Opts) {
     if !opts.csv {
         let k10_idle = ClusterSpec::a9_k10(0, 16).idle_w();
         let a9_idle = ClusterSpec::a9_k10(128, 0).idle_w();
-        println!(
+        diag::note(format!(
             "\nNote (§III-C): the most 'proportional' cluster (16 K10) idles at {k10_idle:.0} W,\n\
              ~{:.1}x the 128-A9 cluster ({a9_idle:.0} W) — proportionality is not efficiency.",
             k10_idle / a9_idle
-        );
+        ));
     }
 }
 
@@ -190,6 +192,6 @@ pub fn table5_cmd(opts: &Opts) {
         print!("{}", render_csv(&rows));
     } else {
         print!("{}", render_table(&rows));
-        println!("\n(A15 and XeonE5 are extension node types; see DESIGN.md)");
+        diag::note("\n(A15 and XeonE5 are extension node types; see DESIGN.md)");
     }
 }

@@ -1,0 +1,51 @@
+//! CLI diagnostics with one global verbosity level.
+//!
+//! Three channels, so experiment output stays machine-consumable:
+//!
+//! * [`error`] — hard failures, stderr, always printed;
+//! * [`info`] — progress/telemetry diagnostics, stderr, only under
+//!   `-v`/`--verbose` (the default stderr is clean);
+//! * [`note`] — explanatory paragraphs appended to experiment output,
+//!   stdout, suppressed by `--quiet` (so `--quiet` yields the bare
+//!   table/figure data and nothing else).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// `--quiet`: only hard errors and the experiment data itself.
+pub const QUIET: u8 = 0;
+/// Default: experiment data plus explanatory notes.
+pub const NORMAL: u8 = 1;
+/// `-v`/`--verbose`: additionally, informational diagnostics on stderr.
+pub const VERBOSE: u8 = 2;
+
+static LEVEL: AtomicU8 = AtomicU8::new(NORMAL);
+
+/// Set the global verbosity (parsed once from the command line).
+pub fn set_level(level: u8) {
+    LEVEL.store(level, Ordering::Relaxed);
+}
+
+/// The current verbosity level.
+pub fn level() -> u8 {
+    LEVEL.load(Ordering::Relaxed)
+}
+
+/// A hard error: stderr, printed at every verbosity level.
+pub fn error(msg: impl AsRef<str>) {
+    eprintln!("{}", msg.as_ref());
+}
+
+/// An informational diagnostic: stderr, printed only under `-v`.
+pub fn info(msg: impl AsRef<str>) {
+    if level() >= VERBOSE {
+        eprintln!("{}", msg.as_ref());
+    }
+}
+
+/// An explanatory note trailing experiment output: stdout, suppressed by
+/// `--quiet`.
+pub fn note(msg: impl AsRef<str>) {
+    if level() >= NORMAL {
+        println!("{}", msg.as_ref());
+    }
+}

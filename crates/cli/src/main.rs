@@ -3,10 +3,17 @@
 //! Heterogeneous Clusters"* from the reproduction library.
 
 mod commands;
+mod diag;
 mod output;
 
-use commands::{characterize_cmd, explore_cmds, faults_cmd, figures, strategies, tables, Opts};
+use commands::{
+    characterize_cmd, explore_cmds, faults_cmd, figures, strategies, tables, ObsCtx, Opts,
+};
 use enprop_clustersim::EnpropError;
+use enprop_obs::{
+    append_bench_record, chrome_trace, jsonl, CommandTimer, MetricsSnapshot, SwitchRecorder,
+};
+use std::path::{Path, PathBuf};
 
 const USAGE: &str = "\
 enprop — energy proportionality of heterogeneous clusters (CLUSTER'16 reproduction)
@@ -61,6 +68,16 @@ Options:
   --deadline S  Deadline in seconds for `sweet`
   --scale X     Kernel size multiplier for `kernels` (default 0.2)
 
+Telemetry options (any command):
+  --trace-out FILE    Write the sim-time trace: Chrome trace-event JSON
+                      (open in Perfetto); a .jsonl suffix writes the raw
+                      deterministic event stream instead
+  --metrics-out FILE  Write an aggregate metrics snapshot: JSON, or flat
+                      CSV with a .csv suffix
+  --profile           Append this command's wall-clock time to BENCH_obs.json
+  -v, --verbose       Informational diagnostics on stderr
+  --quiet             Suppress explanatory notes (bare data only)
+
 Fault options (for `faults`):
   --mtbf S          Per-node MTBF in seconds (default 4x the fault-free job time)
   --stall S         Also inject transient stalls of S seconds
@@ -94,6 +111,17 @@ fn run() -> Result<(), EnpropError> {
         std::process::exit(2);
     };
 
+    // Verbosity first, so every later diagnostic honors it.
+    let quiet = args.iter().any(|a| a == "--quiet");
+    let verbose = args.iter().any(|a| a == "-v" || a == "--verbose");
+    diag::set_level(if quiet {
+        diag::QUIET
+    } else if verbose {
+        diag::VERBOSE
+    } else {
+        diag::NORMAL
+    });
+
     let mut opts = Opts {
         csv: args.iter().any(|a| a == "--csv"),
         ..Opts::default()
@@ -109,8 +137,25 @@ fn run() -> Result<(), EnpropError> {
     let k10: u32 = parse_flag(&args, "--k10").map_or(12, |s| s.parse().expect("--k10 int"));
     let scale: f64 = parse_flag(&args, "--scale").map_or(0.2, |s| s.parse().expect("--scale f64"));
 
+    // Telemetry: recording turns on when any export is requested.
+    let trace_out = parse_flag(&args, "--trace-out").map(PathBuf::from);
+    let metrics_out = parse_flag(&args, "--metrics-out").map(PathBuf::from);
+    let mut ctx = ObsCtx {
+        rec: if trace_out.is_some() || metrics_out.is_some() {
+            SwitchRecorder::on()
+        } else {
+            SwitchRecorder::Off
+        },
+        trace_out,
+        metrics_out,
+    };
+    let timer = args
+        .iter()
+        .any(|a| a == "--profile")
+        .then(|| CommandTimer::start(cmd.clone(), opts.seed));
+
     match cmd.as_str() {
-        "table4" => tables::table4_cmd(&opts),
+        "table4" => tables::table4_cmd(&opts, &mut ctx),
         "table5" => tables::table5_cmd(&opts),
         "table6" => tables::table6_cmd(&opts),
         "table7" => tables::table7_cmd(&opts),
@@ -123,8 +168,8 @@ fn run() -> Result<(), EnpropError> {
         "fig8" => figures::fig8_cmd(&opts),
         "fig9" => figures::fig9_cmd(&opts, "EP"),
         "fig10" => figures::fig9_cmd(&opts, "x264"),
-        "fig11" => figures::fig11_cmd(&opts, "EP"),
-        "fig12" => figures::fig11_cmd(&opts, "x264"),
+        "fig11" => figures::fig11_cmd(&opts, "EP", &mut ctx),
+        "fig12" => figures::fig11_cmd(&opts, "x264", &mut ctx),
         "footnote4" => explore_cmds::footnote4_cmd(&opts),
         "dynamic" => figures::dynamic_cmd(&opts),
         "ablation" => figures::ablation_cmd(&opts),
@@ -132,7 +177,7 @@ fn run() -> Result<(), EnpropError> {
         "search" => {
             let deadline: f64 = parse_flag(&args, "--deadline").map_or_else(
                 || {
-                    eprintln!("search requires --deadline SECS");
+                    diag::error("search requires --deadline SECS");
                     std::process::exit(2);
                 },
                 |s| s.parse().expect("--deadline f64"),
@@ -144,13 +189,13 @@ fn run() -> Result<(), EnpropError> {
         "trace" => {
             let u: f64 = parse_flag(&args, "--utilization")
                 .map_or(0.6, |s| s.parse().expect("--utilization f64"));
-            explore_cmds::trace_cmd(&opts, u);
+            explore_cmds::trace_cmd(&opts, u, &mut ctx);
         }
         "sweet" => {
             let deadline: f64 = parse_flag(&args, "--deadline")
                 .map_or_else(
                     || {
-                        eprintln!("sweet requires --deadline SECS");
+                        diag::error("sweet requires --deadline SECS");
                         std::process::exit(2);
                     },
                     |s| s.parse().expect("--deadline f64"),
@@ -179,10 +224,10 @@ fn run() -> Result<(), EnpropError> {
             if let Some(s) = parse_flag(&args, "--jobs") {
                 fo.jobs = s.parse().expect("--jobs int");
             }
-            faults_cmd::faults_cmd(&opts, &fo, a9, k10)?;
+            faults_cmd::faults_cmd(&opts, &fo, a9, k10, &mut ctx)?;
         }
         "all" => {
-            tables::table4_cmd(&opts);
+            tables::table4_cmd(&opts, &mut ctx);
             println!();
             tables::table5_cmd(&opts);
             println!();
@@ -204,9 +249,9 @@ fn run() -> Result<(), EnpropError> {
             println!();
             figures::fig9_cmd(&opts, "x264");
             println!();
-            figures::fig11_cmd(&opts, "EP");
+            figures::fig11_cmd(&opts, "EP", &mut ctx);
             println!();
-            figures::fig11_cmd(&opts, "x264");
+            figures::fig11_cmd(&opts, "x264", &mut ctx);
             println!();
             explore_cmds::footnote4_cmd(&opts);
             println!();
@@ -222,6 +267,60 @@ fn run() -> Result<(), EnpropError> {
             eprint!("{USAGE}");
             std::process::exit(2);
         }
+    }
+
+    write_outputs(&ctx)?;
+    if let Some(t) = timer {
+        let record = t.finish();
+        let path = Path::new("BENCH_obs.json");
+        append_bench_record(path, &record).map_err(|e| {
+            EnpropError::invalid_config(format!("cannot append {}: {e}", path.display()))
+        })?;
+        diag::info(format!(
+            "profiled {}: {:.1} ms (appended to {})",
+            record.cmd,
+            record.wall_ms,
+            path.display()
+        ));
+    }
+    Ok(())
+}
+
+/// Write the requested telemetry exports. File-format selection is by
+/// suffix: `--trace-out x.jsonl` writes the raw deterministic event
+/// stream (the golden-test format), anything else a Chrome trace-event
+/// document; `--metrics-out x.csv` writes flat CSV, anything else JSON.
+fn write_outputs(ctx: &ObsCtx) -> Result<(), EnpropError> {
+    let Some(mem) = ctx.rec.as_memory() else {
+        return Ok(());
+    };
+    let write = |path: &Path, body: String| -> Result<(), EnpropError> {
+        std::fs::write(path, body).map_err(|e| {
+            EnpropError::invalid_config(format!("cannot write {}: {e}", path.display()))
+        })
+    };
+    if let Some(path) = &ctx.trace_out {
+        let body = if path.extension().is_some_and(|x| x == "jsonl") {
+            jsonl(mem.events())
+        } else {
+            chrome_trace(mem.events())
+        };
+        write(path, body)?;
+        diag::info(format!(
+            "wrote {} trace events to {}",
+            mem.len(),
+            path.display()
+        ));
+    }
+    if let Some(path) = &ctx.metrics_out {
+        let snap = MetricsSnapshot::from_recorder(mem);
+        let body = if path.extension().is_some_and(|x| x == "csv") {
+            snap.to_csv()
+        } else {
+            snap.to_json()
+        };
+        write(path, body)?;
+        diag::info(format!("wrote metrics snapshot to {}", path.display()));
     }
     Ok(())
 }

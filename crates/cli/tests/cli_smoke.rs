@@ -80,6 +80,111 @@ fn help_lists_every_paper_artifact() {
     }
 }
 
+fn tmp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("enprop-cli-smoke");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir.join(format!("{}-{}", std::process::id(), name))
+}
+
+#[test]
+fn help_lists_telemetry_flags() {
+    let (stdout, _, ok) = run(&["help"]);
+    assert!(ok);
+    for flag in ["--trace-out", "--metrics-out", "--profile", "--verbose", "--quiet"] {
+        assert!(stdout.contains(flag), "usage missing {flag}");
+    }
+}
+
+#[test]
+fn telemetry_flags_leave_stdout_untouched() {
+    let trace = tmp_path("t4-trace.json");
+    let metrics = tmp_path("t4-metrics.json");
+    let (plain, _, ok) = run(&["table4", "--samples", "2"]);
+    assert!(ok);
+    let (traced, _, ok) = run(&[
+        "table4",
+        "--samples",
+        "2",
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(ok);
+    assert_eq!(plain, traced, "exports must not perturb the experiment output");
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_file(&metrics);
+}
+
+#[test]
+fn trace_out_writes_a_chrome_trace_and_metrics_carry_the_schema() {
+    let trace = tmp_path("fig11-trace.json");
+    let metrics = tmp_path("fig11-metrics.json");
+    let (_, _, ok) = run(&[
+        "fig11",
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(ok);
+    let t = std::fs::read_to_string(&trace).expect("trace written");
+    assert!(t.starts_with("{\"traceEvents\":["), "{t}");
+    assert!(t.contains("\"ph\":\"X\""), "no complete span events");
+    assert!(t.contains("dispatch.queue_depth"), "no queue-depth series");
+    assert!(t.contains("node.dvfs_transitions"), "no DVFS series");
+    let m = std::fs::read_to_string(&metrics).expect("metrics written");
+    assert!(m.contains("enprop-obs-metrics-v1"), "{m}");
+    assert!(m.contains("\"dispatch.retries\""), "no retry counter");
+    assert!(m.contains("\"job\""), "no job span stats");
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_file(&metrics);
+}
+
+#[test]
+fn golden_jsonl_trace_is_byte_identical_across_runs() {
+    let a = tmp_path("golden-a.jsonl");
+    let b = tmp_path("golden-b.jsonl");
+    for p in [&a, &b] {
+        let (_, _, ok) = run(&["table4", "--samples", "2", "--trace-out", p.to_str().unwrap()]);
+        assert!(ok);
+    }
+    let body_a = std::fs::read(&a).expect("first run written");
+    let body_b = std::fs::read(&b).expect("second run written");
+    assert!(!body_a.is_empty());
+    assert_eq!(body_a, body_b, "same seed + command must trace identically");
+    let first = String::from_utf8(body_a).unwrap();
+    assert!(first.lines().next().unwrap().starts_with("{\"t\":"), "{first}");
+    let _ = std::fs::remove_file(&a);
+    let _ = std::fs::remove_file(&b);
+}
+
+#[test]
+fn quiet_strips_notes_and_keeps_the_data() {
+    let (plain, _, ok) = run(&["table7"]);
+    assert!(ok);
+    let (quiet, _, ok) = run(&["table7", "--quiet"]);
+    assert!(ok);
+    assert!(plain.contains("Note ("));
+    assert!(!quiet.contains("Note ("));
+    assert!(quiet.contains("25.97"), "data rows must survive --quiet");
+}
+
+#[test]
+fn profile_appends_a_bench_record() {
+    let dir = std::env::temp_dir().join(format!("enprop-profile-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let out = Command::new(env!("CARGO_BIN_EXE_enprop"))
+        .args(["table5", "--profile"])
+        .current_dir(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let body = std::fs::read_to_string(dir.join("BENCH_obs.json")).expect("bench file");
+    assert!(body.lines().next().unwrap().contains("\"cmd\":\"table5\""), "{body}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn export_emits_the_full_space() {
     let (stdout, _, ok) = run(&["export", "--a9", "1", "--k10", "1"]);

@@ -9,9 +9,17 @@
 
 use crate::run::ClusterSim;
 use enprop_faults::{EnpropError, FaultPlan, RetryPolicy};
+use enprop_obs::{NoopRecorder, Recorder, Track};
 use enprop_queueing::{exact_quantile, OnlineStats};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Cap on per-job trace records (spans, queue-depth gauges) emitted by an
+/// instrumented [`ClusterQueueSim::run_obs`]: queue runs simulate tens of
+/// thousands of jobs, and tracing each would swamp any viewer. Aggregates
+/// (histograms, tallies) still cover every job.
+const MAX_TRACED_QUEUE_JOBS: usize = 512;
 
 /// Result of a dispatcher-queue simulation.
 #[derive(Debug, Clone)]
@@ -46,14 +54,32 @@ impl ClusterQueueSim {
     /// empirical service-time distribution. Rejects an empty pool with
     /// [`EnpropError::InvalidConfig`].
     pub fn new(sim: &ClusterSim<'_>, pool: usize, seed: u64) -> Result<Self, EnpropError> {
+        Self::new_obs(sim, pool, seed, &mut NoopRecorder)
+    }
+
+    /// [`ClusterQueueSim::new`] plus telemetry: the pooled jobs run
+    /// back-to-back from sim-time zero, each with its node spans and power
+    /// samples. Bit-identical to `new` for any `R`.
+    pub fn new_obs<R: Recorder>(
+        sim: &ClusterSim<'_>,
+        pool: usize,
+        seed: u64,
+        rec: &mut R,
+    ) -> Result<Self, EnpropError> {
         if pool == 0 {
             return Err(EnpropError::invalid_config(
                 "service pool must hold at least one job",
             ));
         }
-        let service_pool: Vec<f64> = (0..pool)
-            .map(|i| sim.run_job(seed.wrapping_add(i as u64 * 104_729)).duration)
-            .collect();
+        let mut service_pool = Vec::with_capacity(pool);
+        let mut t0 = 0.0;
+        for i in 0..pool {
+            let d = sim
+                .run_job_obs(seed.wrapping_add(i as u64 * 104_729), t0, rec)
+                .duration;
+            service_pool.push(d);
+            t0 += d;
+        }
         Ok(Self::from_pool(service_pool, 0))
     }
 
@@ -69,6 +95,21 @@ impl ClusterQueueSim {
         plan: &FaultPlan,
         policy: &RetryPolicy,
     ) -> Result<Self, EnpropError> {
+        Self::with_faults_obs(sim, pool, seed, plan, policy, &mut NoopRecorder)
+    }
+
+    /// [`ClusterQueueSim::with_faults`] plus telemetry: each pooled job's
+    /// attempts, fault instants, recovery waves and backoffs land on the
+    /// trace at its back-to-back start time. Bit-identical to
+    /// `with_faults` for any `R`.
+    pub fn with_faults_obs<R: Recorder>(
+        sim: &ClusterSim<'_>,
+        pool: usize,
+        seed: u64,
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+        rec: &mut R,
+    ) -> Result<Self, EnpropError> {
         if pool == 0 {
             return Err(EnpropError::invalid_config(
                 "service pool must hold at least one job",
@@ -76,12 +117,20 @@ impl ClusterQueueSim {
         }
         let mut service_pool = Vec::with_capacity(pool);
         let mut retried_jobs = 0;
+        let mut t0 = 0.0;
         for i in 0..pool {
-            let f = sim.run_job_under_plan(plan, policy, seed.wrapping_add(i as u64 * 104_729))?;
+            let f = sim.run_job_under_plan_obs(
+                plan,
+                policy,
+                seed.wrapping_add(i as u64 * 104_729),
+                t0,
+                rec,
+            )?;
             if f.attempts > 1 {
                 retried_jobs += 1;
             }
             service_pool.push(f.run.duration);
+            t0 += f.run.duration;
         }
         Ok(Self::from_pool(service_pool, retried_jobs))
     }
@@ -115,6 +164,23 @@ impl ClusterQueueSim {
         warmup: usize,
         seed: u64,
     ) -> Result<ClusterQueueResult, EnpropError> {
+        self.run_obs(utilization, jobs, warmup, seed, &mut NoopRecorder)
+    }
+
+    /// [`ClusterQueueSim::run`] plus telemetry on the dispatcher track:
+    /// a `dispatch.queue_depth` gauge and a sojourn (`job`) span per
+    /// measured arrival (the first [`MAX_TRACED_QUEUE_JOBS`] of them),
+    /// plus `queue.wait_s` / `queue.response_s` histograms and a
+    /// `dispatch.jobs` tally over *every* measured arrival. Bit-identical
+    /// to `run` for any `R` — instrumentation draws no random numbers.
+    pub fn run_obs<R: Recorder>(
+        &self,
+        utilization: f64,
+        jobs: usize,
+        warmup: usize,
+        seed: u64,
+        rec: &mut R,
+    ) -> Result<ClusterQueueResult, EnpropError> {
         if !(utilization > 0.0 && utilization < 1.0) {
             return Err(EnpropError::invalid_parameter(
                 "utilization",
@@ -129,11 +195,37 @@ impl ClusterQueueSim {
         let mut samples = Vec::with_capacity(jobs);
         let mut busy = 0.0;
         let mut first = 0.0;
+        // Pending departure times of jobs still in the system (arrival-time
+        // queue-depth bookkeeping; only maintained when recording).
+        let mut in_system: VecDeque<f64> = VecDeque::new();
+        let mut traced = 0usize;
         for i in 0..jobs + warmup {
             clock += -(1.0 - rng.gen::<f64>()).ln() / lambda;
             let service = self.service_pool[rng.gen_range(0..self.service_pool.len())];
             let start = clock.max(server_free);
             server_free = start + service;
+            if R::ACTIVE {
+                while in_system.front().is_some_and(|&d| d <= clock) {
+                    in_system.pop_front();
+                }
+                if i >= warmup {
+                    rec.tally("dispatch.jobs", 1);
+                    rec.observe("queue.wait_s", start - clock);
+                    rec.observe("queue.response_s", server_free - clock);
+                    if traced < MAX_TRACED_QUEUE_JOBS {
+                        traced += 1;
+                        rec.gauge(
+                            clock,
+                            Track::Dispatcher,
+                            "dispatch.queue_depth",
+                            in_system.len() as f64,
+                        );
+                        rec.span_begin(clock, Track::Dispatcher, "job", i as u64);
+                        rec.span_end(server_free, Track::Dispatcher, "job", i as u64);
+                    }
+                }
+                in_system.push_back(server_free);
+            }
             if i >= warmup {
                 if i == warmup {
                     first = clock;

@@ -5,6 +5,7 @@
 use crate::cluster::ClusterSpec;
 use crate::split::{try_rate_matched_split, try_rate_matched_split_surviving, WorkSplit};
 use enprop_faults::{EnpropError, FaultKind, FaultPlan, RetryPolicy};
+use enprop_obs::{EventKind, MemoryRecorder, NoopRecorder, Recorder, TraceEvent, Track};
 use enprop_workloads::Workload;
 use enprop_nodesim::NodeSim;
 
@@ -94,6 +95,12 @@ impl<'a> ClusterSim<'a> {
     /// Simulate every node's share of one job individually (the common
     /// kernel of [`ClusterSim::run_job`] and the fault-injected runs).
     fn node_runs(&self, seed: u64) -> Vec<NodeRunData> {
+        self.node_runs_obs(seed, 0.0, &mut NoopRecorder)
+    }
+
+    /// [`ClusterSim::node_runs`] with every node placed at sim-time `t0`
+    /// on its own `Track::Node` (spans, DVFS counters, power samples).
+    fn node_runs_obs<R: Recorder>(&self, seed: u64, t0: f64, rec: &mut R) -> Vec<NodeRunData> {
         let ops = self.workload.ops_per_job;
         let mut node_runs = Vec::new();
         for (gi, g) in self.cluster.groups.iter().enumerate() {
@@ -111,7 +118,19 @@ impl<'a> ClusterSim<'a> {
                 let node_seed = seed
                     .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                     .wrapping_add((gi as u64) << 32 | ni as u64);
-                let run = sim.run(&work, g.cores, g.freq, &profile.frictions, node_seed);
+                let run = sim.run_obs(
+                    &work,
+                    g.cores,
+                    g.freq,
+                    &profile.frictions,
+                    node_seed,
+                    t0,
+                    Track::Node {
+                        group: gi as u16,
+                        node: ni as u16,
+                    },
+                    rec,
+                );
                 node_runs.push(NodeRunData {
                     group: gi,
                     node: ni,
@@ -149,13 +168,39 @@ impl<'a> ClusterSim<'a> {
         self.compose(&self.node_runs(seed))
     }
 
+    /// [`ClusterSim::run_job`] plus telemetry: per-node `node_run` spans
+    /// and power samples starting at sim-time `t0`, wrapped in a
+    /// cluster-track `job` span. Bit-identical to `run_job` for any `R` —
+    /// instrumentation draws no random numbers.
+    pub fn run_job_obs<R: Recorder>(&self, seed: u64, t0: f64, rec: &mut R) -> ClusterJobRun {
+        let run = self.compose(&self.node_runs_obs(seed, t0, rec));
+        if R::ACTIVE && run.duration > 0.0 {
+            rec.span_begin(t0, Track::Cluster, "job", seed);
+            rec.span_end(t0 + run.duration, Track::Cluster, "job", seed);
+            rec.tally("cluster.jobs_completed", 1);
+        }
+        run
+    }
+
     /// Average of `n` simulated jobs (distinct seeds).
     pub fn sample_jobs(&self, n: usize, seed: u64) -> ClusterJobRun {
+        self.sample_jobs_obs(n, seed, 0.0, &mut NoopRecorder)
+    }
+
+    /// [`ClusterSim::sample_jobs`] plus telemetry: the `n` jobs are laid
+    /// out back-to-back starting at sim-time `t0`.
+    pub fn sample_jobs_obs<R: Recorder>(
+        &self,
+        n: usize,
+        seed: u64,
+        t0: f64,
+        rec: &mut R,
+    ) -> ClusterJobRun {
         assert!(n > 0);
         let mut dur = 0.0;
         let mut energy = 0.0;
         for i in 0..n {
-            let r = self.run_job(seed.wrapping_add(i as u64 * 7919));
+            let r = self.run_job_obs(seed.wrapping_add(i as u64 * 7919), t0 + dur, rec);
             dur += r.duration;
             energy += r.energy;
         }
@@ -327,6 +372,21 @@ impl PowerTrace {
     pub fn mean_power(&self) -> f64 {
         self.energy() / self.period
     }
+
+    /// Rebuild a step-function trace from a recorded event stream: every
+    /// `cluster.power_w` gauge becomes one `(start_time, watts)` segment.
+    /// This is the *only* trace constructor — the recorder's power stream
+    /// is the single source of truth for the trace shape.
+    pub fn from_power_events(events: &[TraceEvent], period: f64) -> PowerTrace {
+        let segments = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Gauge { value } if e.name == "cluster.power_w" => Some((e.t_s, value)),
+                _ => None,
+            })
+            .collect();
+        PowerTrace { segments, period }
+    }
 }
 
 impl ClusterSim<'_> {
@@ -334,18 +394,34 @@ impl ClusterSim<'_> {
     /// utilization: jobs run back-to-back from t = 0 (each a busy segment
     /// at its measured average power), then the cluster idles.
     pub fn power_trace(&self, target_utilization: f64, period: f64, seed: u64) -> PowerTrace {
+        let mut rec = MemoryRecorder::new();
+        self.power_trace_obs(target_utilization, period, seed, &mut rec)
+    }
+
+    /// [`ClusterSim::power_trace`] recording into `rec`: each job emits a
+    /// `cluster.power_w` gauge (its average draw) plus the usual per-node
+    /// spans and power samples, the idle tail emits one final gauge, and
+    /// the returned trace is rebuilt from that gauge stream via
+    /// [`PowerTrace::from_power_events`].
+    pub fn power_trace_obs(
+        &self,
+        target_utilization: f64,
+        period: f64,
+        seed: u64,
+        rec: &mut MemoryRecorder,
+    ) -> PowerTrace {
         let o = self.observe(target_utilization, period, seed);
-        let mut segments = Vec::new();
+        let start = rec.events().len();
         let mut t = 0.0;
         for j in 0..o.jobs {
-            let run = self.run_job(seed.wrapping_add(j * 7919));
-            segments.push((t, run.energy / run.duration));
+            let run = self.run_job_obs(seed.wrapping_add(j * 7919), t, rec);
+            rec.gauge(t, Track::Cluster, "cluster.power_w", run.energy / run.duration);
             t += run.duration;
         }
         if t < period {
-            segments.push((t, self.cluster.idle_w()));
+            rec.gauge(t, Track::Cluster, "cluster.power_w", self.cluster.idle_w());
         }
-        PowerTrace { segments, period }
+        PowerTrace::from_power_events(&rec.events()[start..], period)
     }
 }
 
@@ -616,11 +692,34 @@ impl ClusterSim<'_> {
         policy: &RetryPolicy,
         seed: u64,
     ) -> Result<FaultedJobRun, EnpropError> {
+        self.run_job_under_plan_obs(plan, policy, seed, 0.0, &mut NoopRecorder)
+    }
+
+    /// [`ClusterSim::run_job_under_plan`] plus telemetry, starting at
+    /// sim-time `t0`: a cluster-track `job` span over the whole window,
+    /// one `attempt` span per dispatch, fault instants on the struck
+    /// node's track (named by [`FaultKind::label`]), `recovery` spans with
+    /// the degraded-split rate fraction, `backoff` spans, and a
+    /// `dispatch.retries` counter. Bit-identical to the plain variant for
+    /// any `R` — instrumentation draws no random numbers.
+    pub fn run_job_under_plan_obs<R: Recorder>(
+        &self,
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+        seed: u64,
+        t0: f64,
+        rec: &mut R,
+    ) -> Result<FaultedJobRun, EnpropError> {
         plan.validate()?;
         policy.validate()?;
-        let nodes = self.node_runs(seed);
+        let nodes = self.node_runs_obs(seed, t0, rec);
         let base = self.compose(&nodes);
         if plan.is_inert() {
+            if R::ACTIVE && base.duration > 0.0 {
+                rec.span_begin(t0, Track::Cluster, "job", seed);
+                rec.span_end(t0 + base.duration, Track::Cluster, "job", seed);
+                rec.tally("cluster.jobs_completed", 1);
+            }
             return Ok(FaultedJobRun {
                 run: base,
                 attempts: 1,
@@ -630,6 +729,9 @@ impl ClusterSim<'_> {
                 redispatched_ops: 0.0,
                 trace: Vec::new(),
             });
+        }
+        if R::ACTIVE {
+            rec.span_begin(t0, Track::Cluster, "job", seed);
         }
         let timeout_s = base.duration * policy.timeout_factor;
         let sample_horizon = if timeout_s.is_finite() {
@@ -650,6 +752,10 @@ impl ClusterSim<'_> {
         let mut trace = Vec::new();
 
         for attempt in 0..policy.max_attempts() {
+            let attempt_start = t0 + total_time;
+            if R::ACTIVE {
+                rec.span_begin(attempt_start, Track::Cluster, "attempt", attempt as u64);
+            }
             let mut alive: Vec<u32> = self.cluster.groups.iter().map(|g| g.count).collect();
             let mut lost_ops = 0.0;
             let mut outcomes = Vec::with_capacity(nodes.len());
@@ -667,6 +773,23 @@ impl ClusterSim<'_> {
                         at_s: e.at_s,
                         kind: e.kind,
                     });
+                    if R::ACTIVE {
+                        let magnitude = match e.kind {
+                            FaultKind::Crash => 0.0,
+                            FaultKind::Stall { duration_s } => duration_s,
+                            FaultKind::Straggler { slowdown } => slowdown,
+                        };
+                        rec.instant(
+                            attempt_start + e.at_s,
+                            Track::Node {
+                                group: r.group as u16,
+                                node: r.node as u16,
+                            },
+                            e.kind.label(),
+                            magnitude,
+                        );
+                        rec.tally(e.kind.label(), 1);
+                    }
                     match e.kind {
                         FaultKind::Crash => {
                             crashes += 1;
@@ -719,6 +842,9 @@ impl ClusterSim<'_> {
                 // Cluster dead: the attempt aborts when the last node dies.
                 total_time += wave_end;
                 total_energy += wave_energy;
+                if R::ACTIVE {
+                    rec.span_end(attempt_start + wave_end, Track::Cluster, "attempt", attempt as u64);
+                }
                 true
             } else {
                 // Recovery wave: survivors re-execute the lost shards under
@@ -730,6 +856,16 @@ impl ClusterSim<'_> {
                     let p = idle_w
                         + busy_delta_w * (degraded.cluster_rate / self.split.cluster_rate);
                     redispatched_ops += lost_ops;
+                    if R::ACTIVE {
+                        rec.span_begin(attempt_start + wave_end, Track::Cluster, "recovery", attempt as u64);
+                        rec.span_end(attempt_start + wave_end + t, Track::Cluster, "recovery", attempt as u64);
+                        rec.instant(
+                            attempt_start + wave_end,
+                            Track::Cluster,
+                            "split.degraded_rate_fraction",
+                            degraded.cluster_rate / self.split.cluster_rate,
+                        );
+                    }
                     (t, t * p)
                 } else {
                     (0.0, 0.0)
@@ -737,6 +873,11 @@ impl ClusterSim<'_> {
                 let completion = wave_end + recovery_time;
                 let attempt_energy = wave_energy + recovery_energy;
                 if completion <= timeout_s {
+                    if R::ACTIVE {
+                        rec.span_end(attempt_start + completion, Track::Cluster, "attempt", attempt as u64);
+                        rec.span_end(attempt_start + completion, Track::Cluster, "job", seed);
+                        rec.tally("cluster.jobs_completed", 1);
+                    }
                     return Ok(FaultedJobRun {
                         run: ClusterJobRun {
                             duration: total_time + completion,
@@ -755,14 +896,32 @@ impl ClusterSim<'_> {
                 // burned energy in proportion to its progress.
                 total_time += timeout_s;
                 total_energy += attempt_energy * (timeout_s / completion);
+                if R::ACTIVE {
+                    rec.span_end(attempt_start + timeout_s, Track::Cluster, "attempt", attempt as u64);
+                }
                 true
             };
             if failed_attempt && attempt + 1 < policy.max_attempts() {
                 // Backoff at cluster idle power before the retry.
                 let backoff = policy.backoff_s(attempt);
+                if R::ACTIVE {
+                    let t = t0 + total_time;
+                    rec.counter(t, Track::Cluster, "dispatch.retries", 1);
+                    rec.span_begin(t, Track::Cluster, "backoff", attempt as u64);
+                    rec.span_end(t + backoff, Track::Cluster, "backoff", attempt as u64);
+                }
                 total_time += backoff;
                 total_energy += backoff * idle_w;
             }
+        }
+        if R::ACTIVE {
+            rec.instant(
+                t0 + total_time,
+                Track::Cluster,
+                "job.retry_exhausted",
+                policy.max_attempts() as f64,
+            );
+            rec.span_end(t0 + total_time, Track::Cluster, "job", seed);
         }
         Err(EnpropError::RetryBudgetExhausted {
             job_seed: seed,

@@ -6,6 +6,7 @@ use crate::cluster::ClusterSpec;
 use crate::run::ClusterSim;
 use crate::split::try_rate_matched_split;
 use enprop_faults::EnpropError;
+use enprop_obs::{NoopRecorder, Recorder};
 use enprop_workloads::{SingleNodeModel, Workload};
 
 /// Analytic (friction-free) prediction for one job on a cluster — the
@@ -75,8 +76,21 @@ pub fn try_validate(
     samples: usize,
     seed: u64,
 ) -> Result<ValidationReport, EnpropError> {
+    try_validate_obs(workload, cluster, samples, seed, &mut NoopRecorder)
+}
+
+/// [`try_validate`] plus telemetry: the sampled jobs run back-to-back
+/// from sim-time zero with per-node spans and power samples.
+/// Bit-identical to `try_validate` for any `R`.
+pub fn try_validate_obs<R: Recorder>(
+    workload: &Workload,
+    cluster: &ClusterSpec,
+    samples: usize,
+    seed: u64,
+    rec: &mut R,
+) -> Result<ValidationReport, EnpropError> {
     let predicted = try_model_prediction(workload, cluster)?;
-    let sim = ClusterSim::try_new(workload, cluster)?.sample_jobs(samples, seed);
+    let sim = ClusterSim::try_new(workload, cluster)?.sample_jobs_obs(samples, seed, 0.0, rec);
     Ok(ValidationReport {
         model_time: predicted.time,
         sim_time: sim.duration,

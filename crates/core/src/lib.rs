@@ -50,4 +50,4 @@ pub use analysis::{
 };
 pub use cluster_model::ClusterModel;
 pub use enprop_faults::EnpropError;
-pub use validation::{table4, Table4Row, REFERENCE_VALIDATION_CLUSTER};
+pub use validation::{table4, table4_obs, Table4Row, REFERENCE_VALIDATION_CLUSTER};

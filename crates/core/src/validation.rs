@@ -1,7 +1,8 @@
 //! Table-4 regeneration: validate the analytic model against the
 //! simulated testbed for every workload.
 
-use enprop_clustersim::{validate, ClusterSpec, ValidationReport};
+use enprop_clustersim::{try_validate_obs, validate, ClusterSpec, ValidationReport};
+use enprop_obs::{NoopRecorder, Recorder};
 use enprop_workloads::catalog;
 
 /// The lab-scale heterogeneous mix used for validation runs (the paper
@@ -23,6 +24,13 @@ pub struct Table4Row {
 
 /// Regenerate Table 4: per-workload model-vs-measured errors.
 pub fn table4(samples: usize, seed: u64) -> Vec<Table4Row> {
+    table4_obs(samples, seed, &mut NoopRecorder)
+}
+
+/// [`table4`] plus telemetry: each workload's validation jobs land on the
+/// trace back-to-back (per-node spans, DVFS counters, power samples).
+/// Bit-identical to `table4` for any `R`.
+pub fn table4_obs<R: Recorder>(samples: usize, seed: u64, rec: &mut R) -> Vec<Table4Row> {
     let paper = [
         ("EP", 3.0, 10.0),
         ("memcached", 10.0, 8.0),
@@ -37,10 +45,16 @@ pub fn table4(samples: usize, seed: u64) -> Vec<Table4Row> {
         .iter()
         .map(|&(name, t, e)| {
             let w = catalog::by_name(name).expect("catalog workload");
+            let report = if R::ACTIVE {
+                try_validate_obs(&w, &cluster, samples, seed, rec)
+                    .unwrap_or_else(|err| panic!("{err}"))
+            } else {
+                validate(&w, &cluster, samples, seed)
+            };
             Table4Row {
                 domain: w.domain,
                 program: w.name,
-                report: validate(&w, &cluster, samples, seed),
+                report,
                 paper_errors: (t, e),
             }
         })

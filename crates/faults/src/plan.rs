@@ -25,6 +25,18 @@ pub enum FaultKind {
     },
 }
 
+impl FaultKind {
+    /// Stable event-stream name for this fault kind (used as the trace
+    /// event name and aggregate counter key by instrumented runs).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::Crash => "fault.crash",
+            FaultKind::Stall { .. } => "fault.stall",
+            FaultKind::Straggler { .. } => "fault.straggler",
+        }
+    }
+}
+
 /// When faults fire on a node: the inter-arrival (MTBF) model.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MtbfModel {
@@ -326,6 +338,16 @@ impl FaultPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fault_kind_labels_are_stable() {
+        assert_eq!(FaultKind::Crash.label(), "fault.crash");
+        assert_eq!(FaultKind::Stall { duration_s: 1.0 }.label(), "fault.stall");
+        assert_eq!(
+            FaultKind::Straggler { slowdown: 2.0 }.label(),
+            "fault.straggler"
+        );
+    }
 
     fn crash_plan(mtbf_s: f64) -> FaultPlan {
         FaultPlan::uniform(

@@ -13,6 +13,7 @@ use crate::engine::EventQueue;
 use crate::noise::Jitter;
 use crate::power::EnergyBreakdown;
 use crate::spec::NodeSpec;
+use enprop_obs::{NoopRecorder, PowerSample, Recorder, Track};
 
 /// Number of compute/memory interleaving chunks each core's slice is split
 /// into; enough to let memory-controller contention emerge without
@@ -181,6 +182,40 @@ impl NodeSim {
         frictions: &Frictions,
         seed: u64,
     ) -> NodeRun {
+        self.run_obs(
+            work,
+            cores,
+            freq,
+            frictions,
+            seed,
+            0.0,
+            Track::Node { group: 0, node: 0 },
+            &mut NoopRecorder,
+        )
+    }
+
+    /// [`NodeSim::run`] plus telemetry: the run is placed at sim-time `t0`
+    /// on `track`, emitting an engine-traffic tally, a `node_run` span, a
+    /// DVFS-transition counter pair (idle → `freq` at start, back at end)
+    /// and a per-component [`PowerSample`] averaged over the run.
+    ///
+    /// With a [`NoopRecorder`] this is exactly [`NodeSim::run`] — the
+    /// computation (and every RNG draw) is identical regardless of `R`.
+    ///
+    /// # Panics
+    /// Panics when the operating point is invalid for this node.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_obs<R: Recorder>(
+        &self,
+        work: &NodeWork,
+        cores: u32,
+        freq: f64,
+        frictions: &Frictions,
+        seed: u64,
+        t0: f64,
+        track: Track,
+        rec: &mut R,
+    ) -> NodeRun {
         self.spec
             .validate_operating_point(cores, freq)
             .unwrap_or_else(|e| panic!("{e}"));
@@ -233,7 +268,7 @@ impl NodeSim {
 
         let mut queue: EventQueue<Ev> = EventQueue::new();
         for core in 0..cores {
-            queue.schedule(0.0, Ev::ChunkStart { core, chunk: 0 });
+            queue.schedule_obs(0.0, Ev::ChunkStart { core, chunk: 0 }, rec);
         }
 
         let mut controller_free = 0.0f64;
@@ -242,7 +277,7 @@ impl NodeSim {
         let mut stall_time = vec![0.0f64; c];
         let mut core_done = vec![0.0f64; c];
 
-        while let Some(ev) = queue.pop() {
+        while let Some(ev) = queue.pop_obs(rec) {
             let Ev::ChunkStart { core, chunk } = ev.event;
             let i = core as usize;
             let t0 = ev.time;
@@ -276,12 +311,13 @@ impl NodeSim {
             stall_time[i] += chunk_end - act_done;
 
             if chunk + 1 < CHUNKS_PER_CORE {
-                queue.schedule(
+                queue.schedule_obs(
                     chunk_end,
                     Ev::ChunkStart {
                         core,
                         chunk: chunk + 1,
                     },
+                    rec,
                 );
             } else {
                 core_done[i] = chunk_end;
@@ -330,6 +366,26 @@ impl NodeSim {
             idle: idle_e,
         }
         .scaled(jitter.factor(frictions.meter_noise));
+
+        if R::ACTIVE && duration > 0.0 {
+            rec.span_begin(t0, track, "node_run", seed);
+            // Two DVFS transitions per run: idle → `freq` at dispatch and
+            // back to idle at completion.
+            rec.counter(t0, track, "node.dvfs_transitions", 1);
+            rec.counter(t0 + duration, track, "node.dvfs_transitions", 1);
+            rec.power(
+                t0 + duration,
+                track,
+                PowerSample {
+                    cpu_act_w: energy.cpu_act / duration,
+                    cpu_stall_w: energy.cpu_stall / duration,
+                    mem_w: energy.mem / duration,
+                    net_w: energy.net / duration,
+                    idle_w: energy.idle / duration,
+                },
+            );
+            rec.span_end(t0 + duration, track, "node_run", seed);
+        }
 
         NodeRun {
             duration,
@@ -552,5 +608,52 @@ mod tests {
         let sim = a9();
         let run = sim.run(&cpu_work(5.6e9), 2, 1.1e9, &Frictions::default(), 0);
         assert!((run.avg_power_w * run.duration - run.energy.total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_obs_is_bit_identical_and_records_the_run() {
+        use enprop_obs::{EventKind, MemoryRecorder};
+
+        let sim = a9();
+        let fr = Frictions {
+            os_jitter: 0.05,
+            meter_noise: 0.02,
+            ..Frictions::default()
+        };
+        let work = NodeWork {
+            act_cycles: 5.6e9,
+            mem_cycles: 0.7e9,
+            io_bytes: 1.0e6,
+            ..Default::default()
+        };
+        let plain = sim.run(&work, 4, 1.4e9, &fr, 42);
+
+        let mut rec = MemoryRecorder::new();
+        let track = Track::Node { group: 1, node: 3 };
+        let traced = sim.run_obs(&work, 4, 1.4e9, &fr, 42, 10.0, track, &mut rec);
+        assert_eq!(plain, traced, "instrumentation must not perturb the run");
+
+        // Engine traffic: 4 cores × 16 chunks scheduled and popped.
+        assert_eq!(rec.counters()["nodesim.eq.scheduled"], 64);
+        assert_eq!(rec.counters()["nodesim.eq.popped"], 64);
+        assert_eq!(rec.counters()["node.dvfs_transitions"], 2);
+
+        // One node_run span at [t0, t0 + duration] plus a power sample
+        // whose components average to the run's energy.
+        let begin = rec
+            .events()
+            .iter()
+            .find(|e| e.name == "node_run" && matches!(e.kind, EventKind::SpanBegin))
+            .expect("span begin");
+        assert_eq!(begin.t_s, 10.0);
+        let power = rec
+            .events()
+            .iter()
+            .find_map(|e| match e.kind {
+                EventKind::Power { sample } => Some(sample),
+                _ => None,
+            })
+            .expect("power sample");
+        assert!((power.total_w() * traced.duration - traced.energy.total()).abs() < 1e-9);
     }
 }

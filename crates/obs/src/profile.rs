@@ -1,0 +1,119 @@
+//! Wall-clock self-profiling for CLI commands. Unlike everything else in
+//! this crate, these timestamps are *real* time — they seed the
+//! `BENCH_obs.json` perf trajectory, they never enter simulated-time
+//! traces.
+
+use std::fmt::Write as _;
+use std::io::{self, Write as _};
+use std::path::Path;
+use std::time::Instant;
+
+/// One finished command timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Command name (e.g. `table4`).
+    pub cmd: String,
+    /// Wall-clock duration, milliseconds.
+    pub wall_ms: f64,
+    /// RNG seed the command ran with.
+    pub seed: u64,
+}
+
+impl BenchRecord {
+    /// One-line JSON form (JSONL append format).
+    pub fn to_json(&self) -> String {
+        let mut cmd = String::with_capacity(self.cmd.len());
+        for c in self.cmd.chars() {
+            if c == '"' || c == '\\' {
+                cmd.push('\\');
+            }
+            cmd.push(c);
+        }
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"cmd\":\"{cmd}\",\"wall_ms\":{},\"seed\":{}}}",
+            self.wall_ms, self.seed
+        );
+        out
+    }
+}
+
+/// Times one command from construction to [`CommandTimer::finish`].
+#[derive(Debug)]
+pub struct CommandTimer {
+    cmd: String,
+    seed: u64,
+    start: Instant,
+}
+
+impl CommandTimer {
+    /// Start timing `cmd`.
+    pub fn start(cmd: impl Into<String>, seed: u64) -> Self {
+        CommandTimer {
+            cmd: cmd.into(),
+            seed,
+            start: Instant::now(),
+        }
+    }
+
+    /// Stop and produce the record.
+    pub fn finish(self) -> BenchRecord {
+        BenchRecord {
+            cmd: self.cmd,
+            wall_ms: self.start.elapsed().as_secs_f64() * 1e3,
+            seed: self.seed,
+        }
+    }
+}
+
+/// Append one record as a JSONL line to `path` (created if missing).
+pub fn append_bench_record(path: &Path, record: &BenchRecord) -> io::Result<()> {
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "{}", record.to_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_produces_a_positive_duration() {
+        let t = CommandTimer::start("table4", 7);
+        let r = t.finish();
+        assert_eq!(r.cmd, "table4");
+        assert_eq!(r.seed, 7);
+        assert!(r.wall_ms >= 0.0);
+    }
+
+    #[test]
+    fn record_json_is_one_object() {
+        let r = BenchRecord {
+            cmd: "fig11".into(),
+            wall_ms: 12.5,
+            seed: 3,
+        };
+        assert_eq!(r.to_json(), "{\"cmd\":\"fig11\",\"wall_ms\":12.5,\"seed\":3}");
+    }
+
+    #[test]
+    fn append_creates_and_extends_the_file() {
+        let dir = std::env::temp_dir().join("enprop-obs-profile-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("bench-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let r = BenchRecord {
+            cmd: "t".into(),
+            wall_ms: 1.0,
+            seed: 0,
+        };
+        append_bench_record(&path, &r).unwrap();
+        append_bench_record(&path, &r).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body.lines().count(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+}

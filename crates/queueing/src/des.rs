@@ -7,8 +7,15 @@
 //! instead of a constant.
 
 use crate::stats::{exact_quantile, OnlineStats};
+use enprop_obs::{NoopRecorder, Recorder, Track};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Cap on per-job trace records emitted by [`QueueSim::run_obs`]: DES runs
+/// measure hundreds of thousands of jobs, and tracing each would swamp any
+/// viewer. Aggregates (histograms, tallies) still cover every job.
+const MAX_TRACED_JOBS: usize = 512;
 
 /// Job inter-arrival process.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -155,6 +162,22 @@ impl QueueSim {
     /// Run `jobs` jobs after discarding `warmup` jobs, with a fixed RNG
     /// seed for reproducibility.
     pub fn run(&self, jobs: usize, warmup: usize, seed: u64) -> SimResult {
+        self.run_obs(jobs, warmup, seed, &mut NoopRecorder)
+    }
+
+    /// [`QueueSim::run`] plus telemetry on the queue track: a `queue.depth`
+    /// gauge and a sojourn (`job`) span per measured arrival (the first
+    /// [`MAX_TRACED_JOBS`] of them), plus `queue.wait_s` /
+    /// `queue.response_s` histograms and an `arrivals`/`departures` tally
+    /// over *every* measured job. Bit-identical to `run` for any `R` —
+    /// instrumentation draws no random numbers.
+    pub fn run_obs<R: Recorder>(
+        &self,
+        jobs: usize,
+        warmup: usize,
+        seed: u64,
+        rec: &mut R,
+    ) -> SimResult {
         assert!(jobs > 0, "need at least one measured job");
         let mut rng = SmallRng::seed_from_u64(seed);
         let total = jobs + warmup;
@@ -167,6 +190,10 @@ impl QueueSim {
         let mut server_free = 0.0f64;
         let mut busy = 0.0f64;
         let mut first_measured_arrival = 0.0f64;
+        // Pending departure times of jobs still in the system (arrival-time
+        // queue-depth bookkeeping; only maintained when recording).
+        let mut in_system: VecDeque<f64> = VecDeque::new();
+        let mut traced = 0usize;
 
         for i in 0..total {
             clock += self.arrivals.sample(&mut rng);
@@ -174,6 +201,25 @@ impl QueueSim {
             let start = clock.max(server_free);
             let w = start - clock;
             server_free = start + service;
+
+            if R::ACTIVE {
+                while in_system.front().is_some_and(|&d| d <= clock) {
+                    in_system.pop_front();
+                }
+                if i >= warmup {
+                    rec.tally("queue.arrivals", 1);
+                    rec.tally("queue.departures", 1);
+                    rec.observe("queue.wait_s", w);
+                    rec.observe("queue.response_s", w + service);
+                    if traced < MAX_TRACED_JOBS {
+                        traced += 1;
+                        rec.gauge(clock, Track::Queue, "queue.depth", in_system.len() as f64);
+                        rec.span_begin(clock, Track::Queue, "job", i as u64);
+                        rec.span_end(server_free, Track::Queue, "job", i as u64);
+                    }
+                }
+                in_system.push_back(server_free);
+            }
 
             if i >= warmup {
                 if i == warmup {
@@ -286,5 +332,28 @@ mod tests {
         assert_eq!(a.response.mean(), b.response.mean());
         let c = QueueSim::md1(0.01, 0.8).run(1000, 100, 100);
         assert_ne!(a.response.mean(), c.response.mean());
+    }
+
+    #[test]
+    fn run_obs_is_bit_identical_and_records_every_measured_job() {
+        use enprop_obs::MemoryRecorder;
+
+        let sim = QueueSim::md1(0.01, 0.8);
+        let plain = sim.run(2000, 200, 42);
+        let mut rec = MemoryRecorder::new();
+        let traced = sim.run_obs(2000, 200, 42, &mut rec);
+        assert_eq!(plain.response.mean(), traced.response.mean());
+        assert_eq!(plain.measured_utilization, traced.measured_utilization);
+
+        assert_eq!(rec.counters()["queue.arrivals"], 2000);
+        assert_eq!(rec.histograms()["queue.wait_s"].count(), 2000);
+        assert_eq!(rec.histograms()["queue.response_s"].count(), 2000);
+        // Trace records are capped; aggregates are not.
+        let spans = rec
+            .events()
+            .iter()
+            .filter(|e| e.name == "job" && matches!(e.kind, enprop_obs::EventKind::SpanBegin))
+            .count();
+        assert_eq!(spans, super::MAX_TRACED_JOBS);
     }
 }

@@ -2,10 +2,23 @@
 # `./scripts/verify.sh` is the no-just fallback.
 
 # Build, test and lint the whole workspace (warnings are errors).
-verify:
+verify: && obs-smoke
     cargo build --release --workspace --offline
     cargo test -q --workspace --offline
     cargo clippy --workspace --all-targets --offline -- -D warnings
+
+# Telemetry exports must stay well-formed: run a traced command and
+# check both artifacts for their format markers.
+obs-smoke:
+    #!/usr/bin/env sh
+    set -eu
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' EXIT
+    cargo run --release -p enprop-cli --offline -- table4 \
+        --trace-out "$tmp/t.json" --metrics-out "$tmp/m.json" >/dev/null
+    grep -q traceEvents "$tmp/t.json"
+    grep -q enprop-obs-metrics-v1 "$tmp/m.json"
+    echo "obs-smoke: OK"
 
 # Fast signal while iterating.
 check:

@@ -10,4 +10,11 @@ echo "==> cargo test"
 cargo test -q --workspace --offline
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
+echo "==> obs smoke (trace + metrics exports)"
+obs_tmp="$(mktemp -d)"
+trap 'rm -rf "$obs_tmp"' EXIT
+./target/release/enprop table4 --trace-out "$obs_tmp/t.json" \
+    --metrics-out "$obs_tmp/m.json" >/dev/null
+grep -q traceEvents "$obs_tmp/t.json"
+grep -q enprop-obs-metrics-v1 "$obs_tmp/m.json"
 echo "verify: OK"
