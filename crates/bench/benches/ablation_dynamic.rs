@@ -6,7 +6,7 @@ use enprop_explore::DynamicEnvelope;
 use enprop_metrics::GridSpec;
 
 fn bench_dynamic(c: &mut Criterion) {
-    let w = enprop_workloads::catalog::by_name("EP").unwrap();
+    let w = enprop_workloads::catalog::by_name("EP").expect("EP is in the catalog");
     let grid = GridSpec::new(100);
     let mut group = c.benchmark_group("ablation_dynamic");
     for (a9, k10) in [(8u32, 4u32), (32, 12), (64, 24)] {

@@ -10,7 +10,7 @@ use enprop_explore::{
 fn bench_space(c: &mut Criterion) {
     let types = [TypeSpace::a9(10), TypeSpace::k10(10)];
     assert_eq!(count_configurations(&types), 36_380);
-    let w = enprop_workloads::catalog::by_name("EP").unwrap();
+    let w = enprop_workloads::catalog::by_name("EP").expect("EP is in the catalog");
 
     let mut group = c.benchmark_group("ablation_space");
     group.sample_size(10);

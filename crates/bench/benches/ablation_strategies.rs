@@ -7,7 +7,7 @@ use enprop_explore::{local_search, DynamicEnvelope, SleepManagedCluster, SleepPo
 use enprop_metrics::GridSpec;
 
 fn bench_strategies(c: &mut Criterion) {
-    let w = enprop_workloads::catalog::by_name("EP").unwrap();
+    let w = enprop_workloads::catalog::by_name("EP").expect("EP is in the catalog");
     let grid = GridSpec::new(100);
     let mut group = c.benchmark_group("ablation_strategies");
     group.sample_size(10);

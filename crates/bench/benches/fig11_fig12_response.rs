@@ -11,7 +11,7 @@ fn bench_response(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig11_fig12_response");
     group.sample_size(20);
     for name in ["EP", "x264"] {
-        let w = enprop_workloads::catalog::by_name(name).unwrap();
+        let w = enprop_workloads::catalog::by_name(name).expect("workload is in the catalog");
         group.bench_with_input(BenchmarkId::from_parameter(name), &w, |b, w| {
             b.iter(|| {
                 mixes

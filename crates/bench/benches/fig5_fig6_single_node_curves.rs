@@ -9,7 +9,7 @@ fn bench_curves(c: &mut Criterion) {
     let grid = enprop_bench::utilization_grid();
     let mut group = c.benchmark_group("fig5_fig6_single_node_curves");
     for name in ["EP", "x264", "blackscholes"] {
-        let w = enprop_workloads::catalog::by_name(name).unwrap();
+        let w = enprop_workloads::catalog::by_name(name).expect("workload is in the catalog");
         group.bench_with_input(BenchmarkId::new("fig5", name), &w, |b, w| {
             b.iter(|| {
                 let mut out = Vec::new();

@@ -6,7 +6,7 @@ use enprop_core::ClusterModel;
 use enprop_metrics::PowerCurve;
 
 fn bench_cluster_curves(c: &mut Criterion) {
-    let w = enprop_workloads::catalog::by_name("EP").unwrap();
+    let w = enprop_workloads::catalog::by_name("EP").expect("EP is in the catalog");
     let mixes = enprop_bench::budget_mixes();
     let grid = enprop_bench::utilization_grid();
     let mut group = c.benchmark_group("fig7_fig8_cluster_curves");

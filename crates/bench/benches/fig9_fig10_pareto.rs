@@ -11,7 +11,7 @@ fn bench_pareto_curves(c: &mut Criterion) {
     let mixes = enprop_bench::pareto_mixes();
     let mut group = c.benchmark_group("fig9_fig10_pareto");
     for name in ["EP", "x264"] {
-        let w = enprop_workloads::catalog::by_name(name).unwrap();
+        let w = enprop_workloads::catalog::by_name(name).expect("workload is in the catalog");
         let reference = ClusterModel::new(w.clone(), ClusterSpec::a9_k10(32, 12));
         let ref_peak = reference.busy_power_w();
         group.bench_with_input(BenchmarkId::from_parameter(name), &w, |b, w| {

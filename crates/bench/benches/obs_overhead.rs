@@ -8,7 +8,7 @@ use enprop_clustersim::{ClusterSim, ClusterSpec};
 use enprop_obs::{MemoryRecorder, Recorder, SwitchRecorder, Track};
 
 fn bench_obs_overhead(c: &mut Criterion) {
-    let w = enprop_workloads::catalog::by_name("EP").unwrap();
+    let w = enprop_workloads::catalog::by_name("EP").expect("EP is in the catalog");
     let cluster = ClusterSpec::a9_k10(8, 4);
     let sim = ClusterSim::new(&w, &cluster);
     let mut group = c.benchmark_group("obs_overhead");

@@ -1,3 +1,4 @@
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 //! `enprop` — regenerate every table and figure of the CLUSTER'16 paper
 //! *"On Energy Proportionality and Time-Energy Performance of
 //! Heterogeneous Clusters"* from the reproduction library.
@@ -89,6 +90,7 @@ Fault options (for `faults`):
 
 Exit codes: 0 ok, 2 invalid configuration or parameter, 3 missing profile
 or empty cluster, 4 cluster dead / retry budget exhausted.
+(The companion `enprop-lint` binary uses 0 clean, 1 findings, 2 usage.)
 ";
 
 fn parse_flag(args: &[String], name: &str) -> Option<String> {

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)] // test code: panicking on malformed fixtures is the desired failure mode
+
 //! End-to-end tests of the `enprop` binary: run real subcommands and
 //! check the regenerated numbers in the output.
 

@@ -126,8 +126,8 @@ impl<'a> ClusterSim<'a> {
                     node_seed,
                     t0,
                     Track::Node {
-                        group: gi as u16,
-                        node: ni as u16,
+                        group: u16::try_from(gi).expect("group index fits u16"),
+                        node: u16::try_from(ni).expect("node index fits u16"),
                     },
                     rec,
                 );
@@ -222,6 +222,7 @@ impl<'a> ClusterSim<'a> {
         );
         assert!(period > 0.0);
         let mean = self.sample_jobs(5, seed);
+        // enprop-lint: allow(float-int-cast) -- ⌊u·T/T_job⌋ is the paper's admitted-job count; the busy ≤ period assert below bounds it
         let jobs = (target_utilization * period / mean.duration).floor() as u64;
         let busy = jobs as f64 * mean.duration;
         assert!(
@@ -782,8 +783,8 @@ impl ClusterSim<'_> {
                         rec.instant(
                             attempt_start + e.at_s,
                             Track::Node {
-                                group: r.group as u16,
-                                node: r.node as u16,
+                                group: u16::try_from(r.group).expect("group index fits u16"),
+                                node: u16::try_from(r.node).expect("node index fits u16"),
                             },
                             e.kind.label(),
                             magnitude,

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)] // test code: panicking on malformed fixtures is the desired failure mode
+
 //! Property-based tests for the fault-injection and recovery subsystem.
 
 use enprop_clustersim::{
@@ -6,6 +8,12 @@ use enprop_clustersim::{
 };
 use enprop_workloads::catalog;
 use proptest::prelude::*;
+
+/// Nodes of a group left alive by a survival fraction.
+fn surviving(count: u32, pct: f64) -> u32 {
+    // enprop-lint: allow(float-int-cast) -- pct ∈ [0,1] and counts ≤ 64, so the rounded product is an exact in-range integer
+    (count as f64 * pct).round() as u32
+}
 
 fn workload_name() -> impl Strategy<Value = &'static str> {
     prop_oneof![
@@ -73,10 +81,7 @@ proptest! {
     ) {
         let w = catalog::by_name(name).unwrap();
         let c = ClusterSpec::a9_k10(a9, k10);
-        let alive = [
-            (a9 as f64 * alive_a9_pct).round() as u32,
-            (k10 as f64 * alive_k10_pct).round() as u32,
-        ];
+        let alive = [surviving(a9, alive_a9_pct), surviving(k10, alive_k10_pct)];
         prop_assume!(alive[0] + alive[1] > 0);
         let s = try_rate_matched_split_surviving(&w, &c, &alive).unwrap();
         let total: f64 = s

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)] // test code: panicking on malformed fixtures is the desired failure mode
+
 //! Property-based tests for the telemetry layer: span balance, counter
 //! monotonicity and trace determinism under randomized fault plans.
 

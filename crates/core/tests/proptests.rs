@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)] // test code: panicking on malformed fixtures is the desired failure mode
+
 //! Property-based tests of the cluster time-energy model.
 
 use enprop_clustersim::ClusterSpec;

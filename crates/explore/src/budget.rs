@@ -30,13 +30,13 @@ pub fn substitution_ratio(small_node_w: f64, small_switch_w_amortized: f64, big_
 /// ```
 pub fn budget_mixes(budget_w: f64, k10_step: u32) -> Vec<ClusterSpec> {
     assert!(k10_step > 0);
-    let k10_max = (budget_w / 60.0).floor() as u32;
+    let k10_max = whole_units(budget_w);
     let mut mixes = Vec::new();
     let mut k10 = k10_max;
     loop {
         let remaining = budget_w - k10 as f64 * 60.0;
         // Whole 8-node A9 groups at 60 W each (8·5 + 20 switch).
-        let a9_groups = (remaining / 60.0).floor() as u32;
+        let a9_groups = whole_units(remaining);
         let a9 = a9_groups * 8;
         let spec = ClusterSpec::a9_k10(a9, k10);
         debug_assert!(spec.nameplate_w() <= budget_w + 1e-9);
@@ -47,6 +47,12 @@ pub fn budget_mixes(budget_w: f64, k10_step: u32) -> Vec<ClusterSpec> {
         k10 = k10.saturating_sub(k10_step);
     }
     mixes
+}
+
+/// Whole 60 W units (`⌊watts/60⌋`) that fit in a power budget.
+fn whole_units(watts: f64) -> u32 {
+    // enprop-lint: allow(float-int-cast) -- ⌊watts/60⌋ is the spec (whole nodes only) and any physical budget is ≪ 2³²·60 W
+    (watts / 60.0).floor() as u32
 }
 
 #[cfg(test)]
@@ -111,8 +117,7 @@ mod budget_proptests {
             for m in &mixes {
                 prop_assert!(m.nameplate_w() <= budget + 1e-9, "{} under {budget}", m.label());
             }
-            let k10_max = (budget / 60.0).floor() as u32;
-            prop_assert_eq!(mixes[0].groups[1].count, k10_max);
+            prop_assert_eq!(mixes[0].groups[1].count, whole_units(budget));
             prop_assert_eq!(mixes.last().unwrap().groups[1].count, 0);
         }
 

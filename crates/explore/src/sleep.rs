@@ -82,6 +82,7 @@ impl SleepManagedCluster {
     /// capacity): `⌈u·n⌉`, at least one.
     pub fn awake_nodes(&self, u: f64) -> u32 {
         let u = u.clamp(0.0, 1.0);
+        // enprop-lint: allow(float-int-cast) -- u ∈ [0,1] so ⌈u·n⌉ ≤ n fits u32 exactly; ceil is the spec
         ((u * self.nodes as f64).ceil() as u32).clamp(1, self.nodes)
     }
 

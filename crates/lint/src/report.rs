@@ -1,0 +1,88 @@
+//! Rendering: human-readable text for terminals, and a stable JSON
+//! document for CI (`--json`). JSON is hand-rolled like the obs
+//! exporters — the build is offline, and the schema is four keys deep.
+
+use crate::rules::{rule_by_id, Finding};
+use crate::scan::Report;
+use std::fmt::Write;
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `path:line:col: [CODE/rule-id] message`, one finding per line, then a
+/// one-line summary.
+pub fn render_text(report: &Report) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        let _ = writeln!(
+            out,
+            "{}:{}:{}: [{}/{}] {}",
+            f.path, f.line, f.col, f.code, f.rule, f.message
+        );
+    }
+    let _ = writeln!(
+        out,
+        "enprop-lint: {} finding(s), {} waived, {} file(s) scanned",
+        report.findings.len(),
+        report.waived,
+        report.files_scanned
+    );
+    out
+}
+
+fn finding_json(f: &Finding) -> String {
+    format!(
+        "{{\"rule\":\"{}\",\"code\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
+        escape(f.rule),
+        escape(f.code),
+        escape(&f.path),
+        f.line,
+        f.col,
+        escape(&f.message)
+    )
+}
+
+/// The machine format consumed by `scripts/verify.sh`. Schema marker
+/// `enprop-lint-v1` mirrors the obs metrics export convention.
+pub fn render_json(report: &Report) -> String {
+    let findings: Vec<String> = report.findings.iter().map(finding_json).collect();
+    format!(
+        "{{\"format\":\"enprop-lint-v1\",\"files_scanned\":{},\"waived\":{},\"findings\":[{}]}}\n",
+        report.files_scanned,
+        report.waived,
+        findings.join(",")
+    )
+}
+
+/// The `--explain <rule>` page: summary, scope, rationale, waiver recipe.
+pub fn explain(id: &str) -> Option<String> {
+    let r = rule_by_id(id)?;
+    Some(format!(
+        "{} ({})\n  {}\n\n  scope: {:?}\n\n  {}\n\n  waiver: append or precede the line with\n    \
+         // enprop-lint: allow({}) -- <why this site is sound>\n",
+        r.id, r.code, r.summary, r.scope, r.rationale, r.id
+    ))
+}
+
+/// The `--list-rules` table.
+pub fn list_rules() -> String {
+    let mut out = String::new();
+    for r in crate::rules::RULES {
+        let _ = writeln!(out, "{:>5}  {:<16} {:?}: {}", r.code, r.id, r.scope, r.summary);
+    }
+    out
+}

@@ -1,0 +1,98 @@
+//! Workspace walker: finds the `.rs` files the lint pass owns, runs the
+//! rules over each, and aggregates a deterministic report.
+//!
+//! Scope must agree with `cargo clippy --workspace`: first-party sources
+//! only. `vendor/` (offline dependency stubs), `target/` (build output),
+//! and dot-directories are excluded explicitly — vendored code is not ours
+//! to lint, and scanning build artifacts would double-report generated
+//! copies of real sources.
+
+use crate::rules::{lint_source, Finding};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into, anywhere in the tree.
+pub const EXCLUDED_DIRS: &[&str] = &["vendor", "target"];
+
+/// Aggregate result of a workspace scan.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All unwaived findings, sorted by (path, line, col, rule).
+    pub findings: Vec<Finding>,
+    /// Number of findings suppressed by valid waivers.
+    pub waived: usize,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Recursively collect the workspace's `.rs` files under `root`, skipping
+/// [`EXCLUDED_DIRS`] and dot-directories. Entries are sorted so the scan
+/// order — and therefore the report — is deterministic across platforms.
+pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&dir)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default();
+            if path.is_dir() {
+                if EXCLUDED_DIRS.contains(&name) || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Scan the workspace rooted at `root` and return the aggregated report.
+pub fn scan_workspace(root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+    for path in collect_rs_files(root)? {
+        let src = fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let file = lint_source(&rel, &src);
+        report.findings.extend(file.findings);
+        report.waived += file.waived;
+        report.files_scanned += 1;
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    Ok(report)
+}
+
+/// Locate the workspace root: walk up from `start` to the first directory
+/// whose `Cargo.toml` contains a `[workspace]` table.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

@@ -1,0 +1,47 @@
+#![allow(clippy::unwrap_used)] // test code: panicking on malformed fixtures is the desired failure mode
+
+//! The workspace must stay clean under its own lint pass: any PR that
+//! introduces a determinism or numeric-hygiene violation (without a
+//! justified waiver) fails this test even before the verify.sh gate runs.
+
+use enprop_lint::{report, scan_workspace};
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root")
+}
+
+#[test]
+fn workspace_is_clean() {
+    let rep = scan_workspace(workspace_root()).expect("scan must not fail");
+    assert!(
+        rep.findings.is_empty(),
+        "workspace has lint findings:\n{}",
+        report::render_text(&rep)
+    );
+}
+
+#[test]
+fn scan_covers_the_whole_workspace() {
+    let rep = scan_workspace(workspace_root()).expect("scan must not fail");
+    // The seed alone had 120 files; a collapse of the walker (e.g. an
+    // over-eager exclusion) would show up as a drastic drop here.
+    assert!(
+        rep.files_scanned > 100,
+        "only {} files scanned — walker lost the workspace",
+        rep.files_scanned
+    );
+    // The waivers placed in this PR must be live: if refactoring drops the
+    // waived sites to zero silently, the waiver comments have gone stale.
+    assert!(rep.waived >= 1, "expected at least one live waiver");
+}
+
+#[test]
+fn report_is_deterministic() {
+    let a = scan_workspace(workspace_root()).expect("scan must not fail");
+    let b = scan_workspace(workspace_root()).expect("scan must not fail");
+    assert_eq!(report::render_json(&a), report::render_json(&b));
+}

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)] // test code: panicking on malformed fixtures is the desired failure mode
+
 //! Property-based tests for the metric identities the paper relies on.
 
 use enprop_metrics::{

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)] // test code: panicking on malformed fixtures is the desired failure mode
+
 //! Property-based tests for simulator invariants.
 
 use enprop_nodesim::{Frictions, NodeSim, NodeSpec, NodeWork};

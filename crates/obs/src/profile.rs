@@ -53,6 +53,7 @@ impl CommandTimer {
         CommandTimer {
             cmd: cmd.into(),
             seed,
+            // enprop-lint: allow(wall-clock) -- the self-profiler measures host wall time by design; no sim time is derived from it
             start: Instant::now(),
         }
     }

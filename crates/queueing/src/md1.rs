@@ -101,6 +101,7 @@ impl MD1 {
     /// small enough for f64 cancellation to stay below ~1e-4, else `None`.
     fn wait_cdf_series(&self, t: f64) -> Option<f64> {
         let d = self.service;
+        // enprop-lint: allow(float-int-cast) -- an out-of-range t/d saturates to usize::MAX, which the TERM_LIMIT bail-out below rejects
         let n = (t / d).floor() as usize;
         if n > TERM_LIMIT {
             return None;

@@ -113,8 +113,8 @@ pub fn exact_quantile(xs: &[f64], q: f64) -> Option<f64> {
     let mut v: Vec<f64> = xs.to_vec();
     v.sort_by(f64::total_cmp);
     let h = q * (v.len() - 1) as f64;
-    let lo = h.floor() as usize;
-    let hi = h.ceil() as usize;
+    // enprop-lint: allow(float-int-cast) -- q ∈ [0,1] is checked above, so h ∈ [0, len-1] and floor/ceil are exact in-range indices
+    let (lo, hi) = (h.floor() as usize, h.ceil() as usize);
     Some(v[lo] + (v[hi] - v[lo]) * (h - lo as f64))
 }
 
@@ -213,7 +213,9 @@ impl P2Quantile {
     }
 
     fn linear(&self, i: usize, d: f64) -> f64 {
-        let j = (i as f64 + d) as usize;
+        // `d` is ±1 (a signum); step the marker index in integer space
+        // instead of round-tripping through f64.
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
         self.heights[i]
             + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
     }

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)] // test code: panicking on malformed fixtures is the desired failure mode
+
 //! Distribution-level validation: the Erlang/Crommelin M/D/1 waiting-time
 //! CDF against the empirical distribution from the discrete-event
 //! simulator — a Kolmogorov–Smirnov-style check over the whole curve, not

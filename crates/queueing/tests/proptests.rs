@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)] // test code: panicking on malformed fixtures is the desired failure mode
+
 //! Property-based tests for queueing invariants.
 
 use enprop_queueing::{exact_quantile, QueueSim, Queue, MD1, MG1, MM1, P2Quantile};

@@ -58,23 +58,37 @@ pub enum Kernel {
     Rsa2048,
 }
 
+/// Problem size scaled by the interactive `scale` knob.
+fn scaled(base: f64, scale: f64) -> u64 {
+    // enprop-lint: allow(float-int-cast) -- scale is clamped to [0.01, 100], so base·scale is ≪ 2⁵³ and truncation only floors the problem size
+    (base * scale) as u64
+}
+
 /// Run one kernel with a size small enough for interactive use and return
 /// the measured throughput. Deterministic inputs; wall-clock timing.
 pub fn measure(kernel: Kernel, scale: f64) -> HostMeasurement {
     let scale = scale.clamp(0.01, 100.0);
     let t0 = Instant::now();
     let ops = match kernel {
-        Kernel::Ep => kernels::ep::kernel((500_000.0 * scale) as u64, 271_828_183, true).ops,
+        Kernel::Ep => kernels::ep::kernel(scaled(500_000.0, scale), 271_828_183, true).ops,
         Kernel::Blackscholes => {
-            let opts = kernels::blackscholes::portfolio((200_000.0 * scale) as usize, 42);
+            let opts = kernels::blackscholes::portfolio(scaled(200_000.0, scale) as usize, 42);
             kernels::blackscholes::kernel(&opts, true).ops
         }
-        Kernel::X264 => kernels::x264::kernel(320, 192, (4.0 * scale).ceil() as usize, 8, true).ops,
-        Kernel::Memcached => {
-            kernels::kvstore::kernel(10_000, (100_000.0 * scale) as usize, 1024, 7).ops
+        Kernel::X264 => {
+            // enprop-lint: allow(float-int-cast) -- ⌈4·scale⌉ ≤ 400 frames; ceil keeps at least one frame
+            let frames = (4.0 * scale).ceil() as usize;
+            kernels::x264::kernel(320, 192, frames, 8, true).ops
         }
-        Kernel::Julius => kernels::julius::kernel((160_000.0 * scale) as u64, 5).ops,
-        Kernel::Rsa2048 => kernels::rsa::kernel((8.0 * scale).ceil() as u64, 42, true).ops,
+        Kernel::Memcached => {
+            kernels::kvstore::kernel(10_000, scaled(100_000.0, scale) as usize, 1024, 7).ops
+        }
+        Kernel::Julius => kernels::julius::kernel(scaled(160_000.0, scale), 5).ops,
+        Kernel::Rsa2048 => {
+            // enprop-lint: allow(float-int-cast) -- ⌈8·scale⌉ ≤ 800 signatures; ceil keeps at least one
+            let sigs = (8.0 * scale).ceil() as u64;
+            kernels::rsa::kernel(sigs, 42, true).ops
+        }
     };
     HostMeasurement::from_run(ops, t0.elapsed().as_secs_f64())
 }

@@ -130,7 +130,7 @@ impl Hmm {
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.total_cmp(b.1))
-            .unwrap();
+            .expect("Viterbi lattice has at least one state");
         let mut path = vec![0usize; frames.len()];
         for t in (0..frames.len()).rev() {
             path[t] = state;
@@ -271,7 +271,7 @@ impl Hmm {
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.total_cmp(b.1))
-            .unwrap();
+            .expect("Viterbi lattice has at least one state");
         let mut path = vec![0usize; frames.len()];
         for t in (0..frames.len()).rev() {
             path[t] = state;

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)] // test code: panicking on malformed fixtures is the desired failure mode
+
 //! Property-based tests for the executable kernels: the bignum arithmetic
 //! under RSA, the KV store against a reference model, the EP stream
 //! slicing, and the pricing kernel's no-arbitrage bounds.

@@ -22,7 +22,7 @@ fn main() {
     );
 
     for workload_name in ["EP", "x264", "blackscholes"] {
-        let workload = catalog::by_name(workload_name).unwrap();
+        let workload = catalog::by_name(workload_name).expect("workload is in the catalog");
         println!("\n=== {workload_name} (unit: {}) ===", workload.unit);
 
         // Evaluate the whole space in parallel and keep what the budget allows.
@@ -59,7 +59,7 @@ fn main() {
 
         // How much energy does the deadline cost? Compare with the
         // unconstrained minimum-energy configuration.
-        let cheapest = sweet_spot(&evald, f64::INFINITY).unwrap();
+        let cheapest = sweet_spot(&evald, f64::INFINITY).expect("sweep is non-empty");
         println!(
             "  unconstrained minimum energy: {:.1} J at {:.3} s ({})",
             cheapest.job_energy,

@@ -19,7 +19,7 @@ fn load_at_hour(h: f64) -> f64 {
 }
 
 fn main() {
-    let workload = catalog::by_name("memcached").unwrap();
+    let workload = catalog::by_name("memcached").expect("memcached is in the catalog");
 
     let full = ClusterModel::new(workload.clone(), ClusterSpec::a9_k10(32, 12));
     let wimpy = ClusterModel::new(workload.clone(), ClusterSpec::a9_k10(128, 0));

@@ -14,7 +14,7 @@ use enprop::clustersim::{ClusterQueueSim, ClusterSim, ClusterSpec};
 use enprop::prelude::*;
 
 fn main() {
-    let workload = catalog::by_name("memcached").unwrap();
+    let workload = catalog::by_name("memcached").expect("memcached is in the catalog");
     let slo_p95 = 0.250; // seconds
     let load = 0.7;
 
@@ -34,7 +34,7 @@ fn main() {
         let sim = ClusterSim::new(&workload, &cluster);
         let queue = ClusterQueueSim::new(&sim, 12, 42).expect("non-empty pool");
         let res = queue.run(load, 20_000, 2_000, 7).expect("stable load");
-        let p95_sim = res.quantile(0.95).unwrap();
+        let p95_sim = res.quantile(0.95).expect("simulation produced samples");
 
         println!(
             "{:>16} {:>12.1} {:>12.0} {:>14.1} {:>14.1} {:>8}",

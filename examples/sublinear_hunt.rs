@@ -17,7 +17,7 @@ fn main() {
     let mixes = [(32u32, 12u32), (25, 10), (25, 8), (25, 7), (25, 5)];
 
     for name in ["EP", "x264"] {
-        let workload = catalog::by_name(name).unwrap();
+        let workload = catalog::by_name(name).expect("workload is in the catalog");
         let reference = ClusterModel::new(workload.clone(), ClusterSpec::a9_k10(32, 12));
         let ref_peak = reference.busy_power_w();
         println!("=== {name}: classified against the 32 A9 : 12 K10 ideal line ===");

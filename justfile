@@ -6,6 +6,7 @@ verify: && obs-smoke
     cargo build --release --workspace --offline
     cargo test -q --workspace --offline
     cargo clippy --workspace --all-targets --offline -- -D warnings
+    cargo run --release -p enprop-lint --offline
 
 # Telemetry exports must stay well-formed: run a traced command and
 # check both artifacts for their format markers.
@@ -27,8 +28,11 @@ check:
 test:
     cargo test -q --workspace --offline
 
+# Clippy plus the domain-aware pass (determinism & numeric hygiene,
+# DESIGN.md §11). `enprop-lint` exits 1 on findings, 2 on usage errors.
 lint:
     cargo clippy --workspace --all-targets --offline -- -D warnings
+    cargo run -p enprop-lint --offline
 
 # Regenerate every paper artifact.
 repro:

@@ -10,6 +10,14 @@ echo "==> cargo test"
 cargo test -q --workspace --offline
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
+echo "==> enprop-lint (determinism & numeric hygiene)"
+# The pass exits 0 clean / 1 findings / 2 usage or I/O error (DESIGN.md §11).
+if ! lint_json="$(./target/release/enprop-lint --json)"; then
+    printf '%s\n' "$lint_json"
+    echo "verify: enprop-lint reported findings" >&2
+    exit 1
+fi
+printf '%s\n' "$lint_json" | grep -q '"format":"enprop-lint-v1"'
 echo "==> obs smoke (trace + metrics exports)"
 obs_tmp="$(mktemp -d)"
 trap 'rm -rf "$obs_tmp"' EXIT

@@ -37,7 +37,7 @@
 //! | [`explore`] | `enprop-explore` | config space, Pareto frontier, power budget |
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub use enprop_clustersim as clustersim;
 pub use enprop_core as core;

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)] // test code: panicking on malformed fixtures is the desired failure mode
+
 //! Integration tests for configuration-space exploration against the
 //! model: frontier properties, budget interactions, and the sweet-region
 //! semantics of the prior-work methodology the paper builds on.

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)] // test code: panicking on malformed fixtures is the desired failure mode
+
 //! Integration tests for the beyond-the-paper extensions, exercised
 //! through the facade crate like a downstream user would.
 

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)] // test code: panicking on malformed fixtures is the desired failure mode
+
 //! Cross-validation between the analytic model and the discrete-event
 //! simulation: power curves, utilization sweeps and tail latency.
 

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)] // test code: panicking on malformed fixtures is the desired failure mode
+
 //! End-to-end reproduction checks: the full pipeline from calibrated
 //! workloads through the time-energy model to the paper's headline
 //! numbers and claims.
