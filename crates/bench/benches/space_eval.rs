@@ -1,0 +1,115 @@
+//! Perf bench for the evaluation pipeline rebuild: sequential/uncached vs
+//! pooled vs pooled+memoized at the footnote-4 scale (36,380
+//! configurations), with a bit-identity cross-check between the variants.
+//!
+//! The vendored criterion stub smoke-runs closures without timing, so the
+//! comparisons here are hand-timed (best of [`REPS`]) with wall-clock
+//! `Instant` — legal in this crate, which measures host time by design.
+//! The ≥3× pooled speedup claim only holds with real cores underneath, so
+//! that assertion gates on `available_parallelism() >= 4`; the cache
+//! speedup is thread-independent and is asserted everywhere.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use enprop_explore::{
+    configurations, count_configurations, evaluate_space_with, EvalOptions, EvaluatedConfig,
+    TypeSpace,
+};
+use enprop_workloads::Workload;
+use std::time::Instant;
+
+/// Best-of-n repetitions for the hand-timed comparisons.
+const REPS: usize = 3;
+
+fn footnote4() -> [TypeSpace; 2] {
+    [TypeSpace::a9(10), TypeSpace::k10(10)]
+}
+
+/// Run one full-space evaluation under `opts`, returning the results and
+/// the best wall-clock seconds over [`REPS`] runs.
+fn timed_eval(w: &Workload, types: &[TypeSpace], opts: EvalOptions) -> (Vec<EvaluatedConfig>, f64) {
+    let mut best = f64::INFINITY;
+    let mut out = Vec::new();
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let (evald, _) = evaluate_space_with(w, configurations(types), opts);
+        best = best.min(start.elapsed().as_secs_f64());
+        out = evald;
+    }
+    (out, best)
+}
+
+fn bench_space_eval(c: &mut Criterion) {
+    let types = footnote4();
+    assert_eq!(count_configurations(&types), 36_380);
+    let w = enprop_workloads::catalog::by_name("EP").expect("EP is in the catalog");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let seq = EvalOptions {
+        threads: Some(1),
+        cache: false,
+    };
+    let pooled = EvalOptions {
+        threads: None,
+        cache: false,
+    };
+    let pooled_cached = EvalOptions::default();
+
+    let (base, t_seq) = timed_eval(&w, &types, seq);
+    let (par, t_pooled) = timed_eval(&w, &types, pooled);
+    let (memo, t_cached) = timed_eval(&w, &types, pooled_cached);
+    eprintln!(
+        "space_eval: 36,380 configs on {cores} core(s): sequential {:.1} ms, \
+         pooled {:.1} ms ({:.2}x), pooled+cache {:.1} ms ({:.2}x)",
+        t_seq * 1e3,
+        t_pooled * 1e3,
+        t_seq / t_pooled,
+        t_cached * 1e3,
+        t_seq / t_cached
+    );
+
+    // Bit-identity: the optimized paths must reproduce the sequential
+    // uncached sweep exactly (DESIGN.md §12), not just approximately.
+    for (a, b) in base.iter().zip(&par).chain(base.iter().zip(&memo)) {
+        assert_eq!(a.job_time.to_bits(), b.job_time.to_bits());
+        assert_eq!(a.job_energy.to_bits(), b.job_energy.to_bits());
+        assert_eq!(a.busy_power_w.to_bits(), b.busy_power_w.to_bits());
+    }
+
+    // The memo collapses 36,380 evaluations onto 38 operating points; even
+    // on one core it must comfortably beat the uncached sweep.
+    assert!(
+        t_cached <= t_seq,
+        "pooled+cache ({:.1} ms) slower than sequential ({:.1} ms)",
+        t_cached * 1e3,
+        t_seq * 1e3
+    );
+    // The pool itself needs real cores before a speedup claim makes sense.
+    if cores >= 4 {
+        assert!(
+            t_seq / t_cached >= 3.0,
+            "expected >= 3x on {cores} cores, got {:.2}x",
+            t_seq / t_cached
+        );
+    }
+
+    // Criterion smoke coverage so this bench shows up with the others.
+    let mut group = c.benchmark_group("space_eval");
+    group.sample_size(10);
+    group.bench_function("sequential_uncached", |b| {
+        b.iter(|| evaluate_space_with(&w, configurations(&types), black_box(seq)).0.len())
+    });
+    group.bench_function("pooled", |b| {
+        b.iter(|| evaluate_space_with(&w, configurations(&types), black_box(pooled)).0.len())
+    });
+    group.bench_function("pooled_cached", |b| {
+        b.iter(|| {
+            evaluate_space_with(&w, configurations(&types), black_box(pooled_cached))
+                .0
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_space_eval);
+criterion_main!(benches);

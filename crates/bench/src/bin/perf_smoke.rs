@@ -1,0 +1,104 @@
+//! `just perf-smoke`: a fast perf regression gate for the evaluation
+//! pipeline. Runs a reduced configuration-space sweep (EP over ≤ 8 A9 +
+//! ≤ 6 K10) three ways — sequential/uncached, pooled/uncached and
+//! pooled+memoized — best-of-3 each, asserts the optimized path did not
+//! regress past the sequential baseline, and appends the timings to
+//! `BENCH_space_eval.json` (JSONL, same record shape as `BENCH_obs.json`)
+//! to seed the perf trajectory.
+//!
+//! The wall-clock bound is chosen to hold even on a single-core host,
+//! where the pool cannot help: the memo alone collapses the sweep onto a
+//! few dozen operating points, so pooled+cache must beat the uncached
+//! baseline regardless of parallelism. A `MARGIN` absorbs scheduler
+//! noise on loaded machines.
+
+use enprop_explore::{
+    configurations, count_configurations, evaluate_space_with, EvalOptions, TypeSpace,
+};
+use enprop_obs::{append_bench_record, BenchRecord};
+use enprop_workloads::Workload;
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Best-of-n repetitions per variant.
+const REPS: usize = 3;
+/// Tolerated noise factor on the pooled+cache ≤ sequential bound.
+const MARGIN: f64 = 1.2;
+
+/// Best wall-clock milliseconds for a full sweep under `opts`.
+fn best_ms(w: &Workload, types: &[TypeSpace], opts: EvalOptions) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let (evald, _) = evaluate_space_with(w, configurations(types), opts);
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(evald.len(), count_configurations(types) as usize);
+    }
+    best
+}
+
+fn main() -> ExitCode {
+    let types = [TypeSpace::a9(8), TypeSpace::k10(6)];
+    let w = enprop_workloads::catalog::by_name("EP").expect("EP is in the catalog");
+    let n = count_configurations(&types);
+    let threads = enprop_explore::eval_threads();
+    println!("perf-smoke: EP over {n} configurations, pool of {threads} thread(s)");
+
+    let seq = best_ms(
+        &w,
+        &types,
+        EvalOptions {
+            threads: Some(1),
+            cache: false,
+        },
+    );
+    let pooled = best_ms(
+        &w,
+        &types,
+        EvalOptions {
+            threads: None,
+            cache: false,
+        },
+    );
+    let cached = best_ms(&w, &types, EvalOptions::default());
+    println!("  sequential/uncached : {seq:>8.2} ms");
+    println!(
+        "  pooled/uncached     : {pooled:>8.2} ms ({:.2}x)",
+        seq / pooled
+    );
+    println!(
+        "  pooled + memoized   : {cached:>8.2} ms ({:.2}x)",
+        seq / cached
+    );
+
+    let path = Path::new("BENCH_space_eval.json");
+    // `seed` records the pool size: the sweep has no RNG, and the thread
+    // count is the one knob that changes the timing's meaning.
+    for (cmd, wall_ms) in [
+        ("space_eval.seq1", seq),
+        ("space_eval.pooled", pooled),
+        ("space_eval.pooled_cached", cached),
+    ] {
+        let record = BenchRecord {
+            cmd: cmd.into(),
+            wall_ms,
+            seed: threads as u64,
+        };
+        if let Err(e) = append_bench_record(path, &record) {
+            eprintln!("perf-smoke: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    println!("  appended 3 records to {}", path.display());
+
+    if cached > seq * MARGIN {
+        eprintln!(
+            "perf-smoke: FAIL — pooled+memoized sweep ({cached:.2} ms) regressed past \
+             sequential/uncached ({seq:.2} ms) x {MARGIN}"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("perf-smoke: OK (pooled+memoized <= sequential x {MARGIN})");
+    ExitCode::SUCCESS
+}

@@ -2,11 +2,55 @@
 //! sweet-region queries.
 
 use super::Opts;
+use crate::diag;
 use crate::output::{fmt_sig, render_csv, render_table};
 use enprop_explore::{
-    count_configurations, enumerate_configurations, evaluate_space, pareto_front, sweet_spot,
-    TypeSpace,
+    configurations, count_configurations, evaluate_space_with, pareto_front, sweet_spot,
+    EvalOptions, EvaluatedConfig, TypeSpace,
 };
+use enprop_obs::{Recorder, Track};
+use enprop_workloads::Workload;
+
+/// Evaluate a configuration space on the pool with memoized operating
+/// points, narrating what the pipeline did: pool size, chunking and cache
+/// totals go to `-v` diagnostics, and (when recording) to the `explore`
+/// telemetry track — one span per source chunk in config-index time plus
+/// cache hit/miss counters. Everything emitted is deterministic for a
+/// given space: chunk boundaries come from the source length and thread
+/// count, and cache totals are interleaving-independent (see
+/// `EvalCache`).
+fn evaluate_space_diag(
+    w: &Workload,
+    types: &[TypeSpace],
+    ctx: &mut super::ObsCtx,
+) -> Vec<EvaluatedConfig> {
+    let (evald, stats) = evaluate_space_with(w, configurations(types), EvalOptions::default());
+    diag::info(format!(
+        "evaluated {} configurations on {} thread(s) ({} chunk(s) of <= {})",
+        stats.evaluated, stats.threads, stats.chunks, stats.chunk_len
+    ));
+    if let Some(c) = stats.cache {
+        diag::info(format!(
+            "eval cache: {} hits / {} misses ({} operating points)",
+            c.hits, c.misses, c.entries
+        ));
+    }
+    if let Some(rec) = ctx.rec.as_memory_mut() {
+        for chunk in 0..stats.chunks {
+            let start = chunk * stats.chunk_len;
+            let end = (start + stats.chunk_len).min(stats.evaluated);
+            rec.span_begin(start as f64, Track::Explore, "explore.chunk", chunk as u64);
+            rec.span_end(end as f64, Track::Explore, "explore.chunk", chunk as u64);
+        }
+        let t_end = stats.evaluated as f64;
+        rec.counter(t_end, Track::Explore, "explore.configs", stats.evaluated as u64);
+        if let Some(c) = stats.cache {
+            rec.counter(t_end, Track::Explore, "explore.cache.hits", c.hits);
+            rec.counter(t_end, Track::Explore, "explore.cache.misses", c.misses);
+        }
+    }
+    evald
+}
 
 /// Footnote 4: the configuration count for 10 ARM + 10 AMD nodes.
 pub fn footnote4_cmd(_opts: &Opts) {
@@ -23,7 +67,7 @@ pub fn footnote4_cmd(_opts: &Opts) {
 }
 
 /// Pareto frontier of a bounded configuration space for one workload.
-pub fn pareto_cmd(opts: &Opts, a9_max: u32, k10_max: u32) {
+pub fn pareto_cmd(opts: &Opts, a9_max: u32, k10_max: u32, ctx: &mut super::ObsCtx) {
     let name = opts.workload.clone().unwrap_or_else(|| "EP".into());
     let w = super::resolve_workload(&name);
     let types = [TypeSpace::a9(a9_max), TypeSpace::k10(k10_max)];
@@ -32,7 +76,7 @@ pub fn pareto_cmd(opts: &Opts, a9_max: u32, k10_max: u32) {
         "Energy-deadline Pareto frontier: {name} over <= {a9_max} A9 + <= {k10_max} K10 \
          ({n} configurations)\n"
     );
-    let evald = evaluate_space(&w, enumerate_configurations(&types));
+    let evald = evaluate_space_diag(&w, &types, ctx);
     let front = pareto_front(&evald);
     let mut rows = vec![vec![
         "Configuration".into(),
@@ -71,11 +115,11 @@ pub fn pareto_cmd(opts: &Opts, a9_max: u32, k10_max: u32) {
 }
 
 /// Sweet-spot query: minimum-energy configuration under a deadline.
-pub fn sweet_cmd(opts: &Opts, a9_max: u32, k10_max: u32, deadline: f64) {
+pub fn sweet_cmd(opts: &Opts, a9_max: u32, k10_max: u32, deadline: f64, ctx: &mut super::ObsCtx) {
     let name = opts.workload.clone().unwrap_or_else(|| "EP".into());
     let w = super::resolve_workload(&name);
     let types = [TypeSpace::a9(a9_max), TypeSpace::k10(k10_max)];
-    let evald = evaluate_space(&w, enumerate_configurations(&types));
+    let evald = evaluate_space_diag(&w, &types, ctx);
     println!("Sweet spot for {name} with deadline {deadline} s:\n");
     match sweet_spot(&evald, deadline) {
         Some(best) => {
@@ -169,15 +213,19 @@ pub fn search_cmd(opts: &Opts, a9_max: u32, k10_max: u32, deadline: f64) {
         result.evaluations,
         100.0 * result.evaluations as f64 / space as f64
     );
+    println!(
+        "  memo hits     : {} revisited states answered without the model",
+        result.cache_hits
+    );
 }
 
 /// Export the evaluated configuration space as CSV (for external
 /// analysis/plotting tools).
-pub fn export_cmd(opts: &Opts, a9_max: u32, k10_max: u32) {
+pub fn export_cmd(opts: &Opts, a9_max: u32, k10_max: u32, ctx: &mut super::ObsCtx) {
     let name = opts.workload.clone().unwrap_or_else(|| "EP".into());
     let w = super::resolve_workload(&name);
     let types = [TypeSpace::a9(a9_max), TypeSpace::k10(k10_max)];
-    let evald = evaluate_space(&w, enumerate_configurations(&types));
+    let evald = evaluate_space_diag(&w, &types, ctx);
     let front: std::collections::HashSet<String> = pareto_front(&evald)
         .iter()
         .map(|e| format!("{:?}", e.cluster))

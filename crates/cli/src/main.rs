@@ -68,6 +68,9 @@ Options:
   --k10 N       Max/count of K10 nodes for exploration commands (default 12)
   --deadline S  Deadline in seconds for `sweet`
   --scale X     Kernel size multiplier for `kernels` (default 0.2)
+  --threads N   Worker threads for configuration-space evaluation
+                (default: ENPROP_THREADS/RAYON_NUM_THREADS env, else all
+                cores; results are bit-identical for any thread count)
 
 Telemetry options (any command):
   --trace-out FILE    Write the sim-time trace: Chrome trace-event JSON
@@ -138,6 +141,14 @@ fn run() -> Result<(), EnpropError> {
     let a9: u32 = parse_flag(&args, "--a9").map_or(32, |s| s.parse().expect("--a9 int"));
     let k10: u32 = parse_flag(&args, "--k10").map_or(12, |s| s.parse().expect("--k10 int"));
     let scale: f64 = parse_flag(&args, "--scale").map_or(0.2, |s| s.parse().expect("--scale f64"));
+    if let Some(s) = parse_flag(&args, "--threads") {
+        let n: usize = s.parse().expect("--threads takes an integer");
+        enprop_explore::set_eval_threads(n);
+    }
+    diag::info(format!(
+        "evaluation pool: {} worker thread(s)",
+        enprop_explore::eval_threads()
+    ));
 
     // Telemetry: recording turns on when any export is requested.
     let trace_out = parse_flag(&args, "--trace-out").map(PathBuf::from);
@@ -175,7 +186,7 @@ fn run() -> Result<(), EnpropError> {
         "footnote4" => explore_cmds::footnote4_cmd(&opts),
         "dynamic" => figures::dynamic_cmd(&opts),
         "ablation" => figures::ablation_cmd(&opts),
-        "pareto" => explore_cmds::pareto_cmd(&opts, a9, k10),
+        "pareto" => explore_cmds::pareto_cmd(&opts, a9, k10, &mut ctx),
         "search" => {
             let deadline: f64 = parse_flag(&args, "--deadline").map_or_else(
                 || {
@@ -187,7 +198,7 @@ fn run() -> Result<(), EnpropError> {
             explore_cmds::search_cmd(&opts, a9, k10, deadline);
         }
         "strategies" => strategies::strategies_cmd(&opts),
-        "export" => explore_cmds::export_cmd(&opts, a9, k10),
+        "export" => explore_cmds::export_cmd(&opts, a9, k10, &mut ctx),
         "trace" => {
             let u: f64 = parse_flag(&args, "--utilization")
                 .map_or(0.6, |s| s.parse().expect("--utilization f64"));
@@ -202,7 +213,7 @@ fn run() -> Result<(), EnpropError> {
                     },
                     |s| s.parse().expect("--deadline f64"),
                 );
-            explore_cmds::sweet_cmd(&opts, a9, k10, deadline);
+            explore_cmds::sweet_cmd(&opts, a9, k10, deadline, &mut ctx);
         }
         "kernels" => characterize_cmd::kernels_cmd(&opts, scale),
         "power" => characterize_cmd::power_cmd(&opts),

@@ -2,6 +2,7 @@
 //! interconnect overhead used in power budgeting.
 
 use enprop_nodesim::NodeSpec;
+use std::sync::Arc;
 
 /// Interconnect overhead attributed to a node group for *budget*
 /// accounting (paper footnote 3: "about 20 W peak power drawn by the
@@ -41,10 +42,15 @@ impl SwitchOverhead {
 /// A homogeneous group inside a heterogeneous cluster: `count` nodes of
 /// one type, all running `cores` active cores at frequency `freq`
 /// (the per-type tuple of the paper's configuration definition, §II-A).
+///
+/// The spec is held behind an [`Arc`] so that configuration-space
+/// enumeration (tens of thousands of `ClusterSpec`s over a handful of
+/// node types) shares one allocation per type instead of deep-cloning
+/// the frequency tables into every group.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NodeGroup {
-    /// Node hardware type.
-    pub spec: NodeSpec,
+    /// Node hardware type (shared across groups/clusters of this type).
+    pub spec: Arc<NodeSpec>,
     /// Number of nodes of this type.
     pub count: u32,
     /// Active cores per node.
@@ -56,8 +62,10 @@ pub struct NodeGroup {
 }
 
 impl NodeGroup {
-    /// A group running every core at maximum frequency.
-    pub fn full(spec: NodeSpec, count: u32) -> Self {
+    /// A group running every core at maximum frequency. Accepts either an
+    /// owned [`NodeSpec`] or an already-shared `Arc<NodeSpec>`.
+    pub fn full(spec: impl Into<Arc<NodeSpec>>, count: u32) -> Self {
+        let spec = spec.into();
         let cores = spec.cores;
         let freq = spec.fmax();
         NodeGroup {

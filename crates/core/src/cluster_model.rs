@@ -90,6 +90,14 @@ impl ClusterModel {
     }
 
     /// Modeled energy of one job (`E_P = Σ_i E_i · n_i`), joules.
+    ///
+    /// Computed in per-op form — `n_i · (ops_i · E_i(1 op))` — which is
+    /// valid because every time term of [`SingleNodeModel`] is linear
+    /// through the origin in ops. The per-op factor depends only on
+    /// `(workload, node type, cores, freq)`, so `enprop-explore`'s
+    /// `EvalCache` can memoize it and reproduce this exact sequence of
+    /// floating-point operations; keep the two in lockstep (bit-identity
+    /// is covered by explore's cache-consistency tests).
     pub fn job_energy(&self) -> f64 {
         let ops = self.workload.ops_per_job;
         let mut energy = 0.0;
@@ -102,8 +110,9 @@ impl ClusterModel {
                 .try_profile(g.spec.name)
                 .expect("profiles validated at construction");
             let model = SingleNodeModel::new(&profile.spec, &profile.demand, self.workload.io_rate);
+            let energy_per_op = model.energy(1.0, g.cores, g.freq).total();
             let node_ops = self.split.ops_per_node[gi] * ops;
-            energy += g.count as f64 * model.energy(node_ops, g.cores, g.freq).total();
+            energy += g.count as f64 * (node_ops * energy_per_op);
         }
         energy
     }

@@ -1,0 +1,266 @@
+//! Memoized model evaluation: the [`EvalCache`].
+//!
+//! Every configuration in the space reuses the same handful of per-type
+//! operating points — a `(node type, cores, freq)` tuple has at most
+//! `Σ_i c_max,i · |F_i|` distinct values (38 for the paper's A9+K10
+//! space) while the space itself has tens of thousands of configurations.
+//! The uncached path rebuilds a [`SingleNodeModel`] and re-derives the
+//! node rate and per-op energy for every group of every configuration;
+//! the cache computes each operating point once and composes cluster
+//! results from the stored values in O(groups).
+//!
+//! ## Bit-identity contract
+//!
+//! [`EvalCache::evaluate`] reproduces the **exact floating-point
+//! operation sequence** of the uncached path
+//! ([`evaluate_config`](crate::evaluate_config) with no cache, i.e.
+//! `ClusterModel` over `try_rate_matched_split`):
+//!
+//! * node rate: `SingleNodeModel::throughput(cores, freq)`, summed into
+//!   the cluster rate in group order as `count as f64 * rate`;
+//! * per-node share: `node_rate[i] / cluster_rate`;
+//! * job time: `ops / cluster_rate`;
+//! * job energy: `Σ count as f64 * ((share * ops) * energy_per_op)` where
+//!   `energy_per_op = SingleNodeModel::energy(1.0, cores, freq).total()`
+//!   — valid because every time term of the model is linear through the
+//!   origin in ops, and matching `ClusterModel::job_energy`'s per-op
+//!   form;
+//! * busy power: `job_energy / job_time`.
+//!
+//! Cached and uncached results are therefore equal with `==`, not just
+//! within a tolerance (asserted by the tests below and by the
+//! space-level proptests). If `ClusterModel` or the split change their
+//! arithmetic, this module must change in lockstep.
+
+use crate::space::EvaluatedConfig;
+use enprop_clustersim::ClusterSpec;
+use enprop_workloads::{SingleNodeModel, Workload};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// One memoized operating point: what the split and energy model need
+/// from a `(node type, cores, freq)` tuple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct NodePoint {
+    /// Modeled execution rate of one node, ops/s.
+    rate: f64,
+    /// Modeled energy of one op on one node, joules.
+    energy_per_op: f64,
+}
+
+/// Cache key. The frequency is keyed by its bit pattern: operating points
+/// come from the spec's DVFS table, so equal frequencies are bit-equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PointKey {
+    node: &'static str,
+    cores: u32,
+    freq_bits: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<PointKey, NodePoint>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Hit/miss totals of an [`EvalCache`].
+///
+/// Both totals are deterministic for a given evaluation run regardless of
+/// thread count or interleaving: lookups per configuration are fixed, and
+/// each distinct key misses exactly once because the check-then-fill is
+/// atomic under the cache lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that computed and stored a new operating point.
+    pub misses: u64,
+    /// Distinct operating points stored (equals `misses`).
+    pub entries: u64,
+}
+
+/// Memo of per-`(node type, cores, freq)` operating points for **one**
+/// workload. Shareable across threads: the pool's workers evaluate
+/// configurations against one cache.
+#[derive(Debug)]
+pub struct EvalCache {
+    /// Workload this cache is keyed to (operating points depend on the
+    /// workload's demand profile, so a cache must never be reused across
+    /// workloads).
+    workload: &'static str,
+    inner: Mutex<Inner>,
+}
+
+impl EvalCache {
+    /// An empty cache for `workload`.
+    pub fn new(workload: &Workload) -> Self {
+        EvalCache {
+            workload: workload.name,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Name of the workload this cache serves.
+    pub fn workload(&self) -> &'static str {
+        self.workload
+    }
+
+    /// Current hit/miss totals.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            entries: inner.map.len() as u64,
+        }
+    }
+
+    /// The memoized operating point for one group tuple. The miss path
+    /// fills under the same lock as the lookup: the compute is tiny
+    /// (closed-form model arithmetic, ≲ 40 distinct keys per space) and
+    /// atomicity makes each key miss exactly once, keeping
+    /// [`CacheStats`] deterministic under any thread interleaving.
+    fn point(&self, workload: &Workload, node: &'static str, cores: u32, freq: f64) -> NodePoint {
+        debug_assert_eq!(
+            workload.name, self.workload,
+            "EvalCache built for {} used with {}",
+            self.workload, workload.name
+        );
+        let key = PointKey {
+            node,
+            cores,
+            freq_bits: freq.to_bits(),
+        };
+        let mut inner = self.inner.lock();
+        if let Some(p) = inner.map.get(&key).copied() {
+            inner.hits += 1;
+            return p;
+        }
+        let profile = workload
+            .try_profile(node)
+            .unwrap_or_else(|e| panic!("{e}"));
+        let model = SingleNodeModel::new(&profile.spec, &profile.demand, workload.io_rate);
+        let p = NodePoint {
+            rate: model.throughput(cores, freq),
+            energy_per_op: model.energy(1.0, cores, freq).total(),
+        };
+        inner.misses += 1;
+        inner.map.insert(key, p);
+        p
+    }
+
+    /// Evaluate one configuration from cached operating points —
+    /// bit-identical to the uncached `ClusterModel` path (see the module
+    /// doc for the mirrored operation sequence).
+    ///
+    /// # Panics
+    /// Panics when the cluster has no capacity or a node type lacks a
+    /// calibrated profile, mirroring `ClusterModel::new`.
+    pub fn evaluate(&self, workload: &Workload, cluster: ClusterSpec) -> EvaluatedConfig {
+        // Mirrors try_rate_matched_split_surviving with every node alive.
+        let mut node_rate = Vec::with_capacity(cluster.groups.len());
+        let mut cluster_rate = 0.0;
+        for g in &cluster.groups {
+            if g.count == 0 {
+                node_rate.push(0.0);
+                continue;
+            }
+            let p = self.point(workload, g.spec.name, g.cores, g.freq);
+            node_rate.push(p.rate);
+            cluster_rate += g.count as f64 * p.rate;
+        }
+        assert!(
+            cluster_rate > 0.0,
+            "workload {} has no capacity on an empty cluster",
+            workload.name
+        );
+        let ops = workload.ops_per_job;
+        let job_time = ops / cluster_rate;
+        // Mirrors ClusterModel::job_energy's per-op composition.
+        let mut job_energy = 0.0;
+        for (gi, g) in cluster.groups.iter().enumerate() {
+            if g.count == 0 {
+                continue;
+            }
+            let p = self.point(workload, g.spec.name, g.cores, g.freq);
+            let node_ops = (node_rate[gi] / cluster_rate) * ops;
+            job_energy += g.count as f64 * (node_ops * p.energy_per_op);
+        }
+        let busy_power_w = job_energy / job_time;
+        EvaluatedConfig {
+            job_time,
+            job_energy,
+            busy_power_w,
+            idle_power_w: cluster.idle_w(),
+            nameplate_w: cluster.nameplate_w(),
+            cluster,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{enumerate_configurations, evaluate_config, TypeSpace};
+    use enprop_workloads::catalog;
+
+    #[test]
+    fn cached_results_are_bit_identical_to_uncached() {
+        for name in ["EP", "blackscholes", "x264"] {
+            let w = catalog::by_name(name).unwrap();
+            let cache = EvalCache::new(&w);
+            let types = [TypeSpace::a9(3), TypeSpace::k10(2)];
+            for cluster in enumerate_configurations(&types) {
+                let plain = evaluate_config(&w, cluster.clone(), None);
+                let cached = cache.evaluate(&w, cluster);
+                assert_eq!(plain.job_time.to_bits(), cached.job_time.to_bits());
+                assert_eq!(plain.job_energy.to_bits(), cached.job_energy.to_bits());
+                assert_eq!(plain.busy_power_w.to_bits(), cached.busy_power_w.to_bits());
+                assert_eq!(plain.idle_power_w.to_bits(), cached.idle_power_w.to_bits());
+                assert_eq!(plain.nameplate_w.to_bits(), cached.nameplate_w.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn entries_are_bounded_by_distinct_operating_points() {
+        let w = catalog::by_name("EP").unwrap();
+        let cache = EvalCache::new(&w);
+        let types = [TypeSpace::a9(3), TypeSpace::k10(2)];
+        for cluster in enumerate_configurations(&types) {
+            let _ = cache.evaluate(&w, cluster);
+        }
+        let stats = cache.stats();
+        // A9: 4 cores × 5 freqs; K10: 6 cores × 3 freqs → ≤ 38 points.
+        assert_eq!(stats.entries, 38);
+        assert_eq!(stats.misses, stats.entries);
+        assert!(stats.hits > stats.misses * 10, "{stats:?}");
+    }
+
+    #[test]
+    fn hit_miss_totals_account_for_every_lookup() {
+        let w = catalog::by_name("EP").unwrap();
+        let cache = EvalCache::new(&w);
+        let types = [TypeSpace::a9(2), TypeSpace::k10(1)];
+        let configs = enumerate_configurations(&types);
+        // Two lookups (rate + energy) per non-empty group per config.
+        let lookups: u64 = configs
+            .iter()
+            .map(|c| 2 * c.groups.iter().filter(|g| g.count > 0).count() as u64)
+            .sum();
+        for cluster in configs {
+            let _ = cache.evaluate(&w, cluster);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, lookups);
+    }
+
+    #[test]
+    #[should_panic(expected = "no capacity")]
+    fn empty_cluster_panics_like_the_model() {
+        let w = catalog::by_name("EP").unwrap();
+        let cache = EvalCache::new(&w);
+        let _ = cache.evaluate(&w, ClusterSpec { groups: Vec::new() });
+    }
+}

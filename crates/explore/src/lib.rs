@@ -9,7 +9,9 @@
 //!   ten AMD nodes yield the paper's footnote-4 count of 36,380
 //!   configurations, which is a unit test here.
 //! * **Time-energy evaluation** — every configuration evaluated under the
-//!   Table-2 model, in parallel (rayon).
+//!   Table-2 model on a chunked thread pool (the vendored rayon), with
+//!   per-operating-point memoization ([`EvalCache`]); both are
+//!   bit-identical to a sequential, uncached evaluation (DESIGN.md §12).
 //! * **Energy-deadline Pareto frontier** — the "sweet region" of
 //!   configurations that meet a deadline with minimum energy.
 //! * **Power budgeting** — nameplate filtering and the footnote-3
@@ -28,6 +30,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 mod budget;
+mod cache;
 mod dynamic;
 mod pareto;
 mod search;
@@ -37,10 +40,15 @@ mod sublinear;
 mod sweet;
 
 pub use budget::{budget_mixes, substitution_ratio, PAPER_BUDGET_W};
+pub use cache::{CacheStats, EvalCache};
 pub use dynamic::DynamicEnvelope;
 pub use pareto::{knee_point, pareto_front, pareto_indices};
 pub use search::{local_search, SearchResult};
 pub use sleep::{SleepManagedCluster, SleepPolicy};
-pub use space::{count_configurations, enumerate_configurations, evaluate_space, EvaluatedConfig, TypeSpace};
+pub use space::{
+    configurations, count_configurations, enumerate_configurations, eval_threads, evaluate_config,
+    evaluate_space, evaluate_space_with, set_eval_threads, Configurations, EvalOptions, EvalStats,
+    EvaluatedConfig, TypeSpace,
+};
 pub use sublinear::{response_time_series, sublinear_report, SublinearReport};
 pub use sweet::{sweet_region, sweet_spot};

@@ -8,27 +8,43 @@
 //! energy subject to a deadline. On spaces small enough to enumerate it
 //! matches the exact sweet spot (asserted in tests); on large spaces it
 //! needs orders of magnitude fewer model evaluations than enumeration.
+//!
+//! Evaluation goes through the shared cache-aware
+//! [`evaluate_config`](crate::evaluate_config) (one [`EvalCache`] per
+//! search), and whole states are additionally memoized: restarts and
+//! neighbor sweeps revisit the same `(n, c, f)` tuples constantly, so a
+//! revisited state costs a map lookup instead of a model evaluation.
+//! [`SearchResult::evaluations`] still counts *model evaluations* only;
+//! memo hits are reported separately in [`SearchResult::cache_hits`].
+//! Memoization cannot change the search trajectory — cached results are
+//! bit-identical to fresh ones (the [`crate::cache`] contract), so the
+//! same neighbors win the same comparisons.
 
-use crate::space::{EvaluatedConfig, TypeSpace};
+use crate::cache::EvalCache;
+use crate::space::{evaluate_config, EvaluatedConfig, TypeSpace};
 use enprop_clustersim::{ClusterSpec, NodeGroup};
-use enprop_core::ClusterModel;
 use enprop_workloads::Workload;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Search statistics alongside the best configuration found.
 #[derive(Debug, Clone)]
 pub struct SearchResult {
     /// The best feasible configuration found, if any.
     pub best: Option<EvaluatedConfig>,
-    /// Number of model evaluations spent.
+    /// Number of model evaluations spent (state-memo hits excluded).
     pub evaluations: u64,
+    /// Number of state evaluations answered from the memo instead of the
+    /// model.
+    pub cache_hits: u64,
     /// Number of restarts performed.
     pub restarts: u32,
 }
 
 /// One point in the search space: per-type `(nodes, cores, freq index)`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct State(Vec<(u32, u32, usize)>);
 
 fn materialize(types: &[TypeSpace], s: &State) -> Option<ClusterSpec> {
@@ -38,7 +54,7 @@ fn materialize(types: &[TypeSpace], s: &State) -> Option<ClusterSpec> {
             continue;
         }
         groups.push(NodeGroup {
-            spec: t.spec.clone(),
+            spec: Arc::clone(&t.spec),
             count: n,
             cores: c,
             freq: t.spec.frequencies[fi],
@@ -52,17 +68,39 @@ fn materialize(types: &[TypeSpace], s: &State) -> Option<ClusterSpec> {
     }
 }
 
-fn evaluate(workload: &Workload, cluster: ClusterSpec) -> EvaluatedConfig {
-    let nameplate_w = cluster.nameplate_w();
-    let idle_power_w = cluster.idle_w();
-    let model = ClusterModel::new(workload.clone(), cluster);
-    EvaluatedConfig {
-        job_time: model.job_time(),
-        job_energy: model.job_energy(),
-        busy_power_w: model.busy_power_w(),
-        idle_power_w,
-        nameplate_w,
-        cluster: model.cluster().clone(),
+/// Per-search evaluation state: the operating-point cache, the whole-state
+/// memo, and the two counters they feed.
+struct Evaluator<'w> {
+    workload: &'w Workload,
+    cache: EvalCache,
+    memo: HashMap<State, EvaluatedConfig>,
+    evaluations: u64,
+    cache_hits: u64,
+}
+
+impl<'w> Evaluator<'w> {
+    fn new(workload: &'w Workload) -> Self {
+        Evaluator {
+            workload,
+            cache: EvalCache::new(workload),
+            memo: HashMap::new(),
+            evaluations: 0,
+            cache_hits: 0,
+        }
+    }
+
+    /// Evaluate a state, from the memo when it was seen before. `None`
+    /// for the empty (all-types-absent) state.
+    fn eval(&mut self, types: &[TypeSpace], state: &State) -> Option<EvaluatedConfig> {
+        if let Some(e) = self.memo.get(state) {
+            self.cache_hits += 1;
+            return Some(e.clone());
+        }
+        let cluster = materialize(types, state)?;
+        let e = evaluate_config(self.workload, cluster, Some(&self.cache));
+        self.evaluations += 1;
+        self.memo.insert(state.clone(), e.clone());
+        Some(e)
     }
 }
 
@@ -93,7 +131,7 @@ pub fn local_search(
     assert!(!types.is_empty(), "search needs at least one node type");
     assert!(restarts >= 1);
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut evaluations = 0u64;
+    let mut ev = Evaluator::new(workload);
     let mut best: Option<EvaluatedConfig> = None;
 
     for _ in 0..restarts {
@@ -115,12 +153,10 @@ pub fn local_search(
                 break s;
             }
         };
-        let cluster = materialize(types, &state).expect("non-empty start");
-        let mut current = evaluate(workload, cluster);
-        evaluations += 1;
+        let mut current = ev.eval(types, &state).expect("non-empty start");
 
+        // Climb until no neighbor improves on the current state.
         loop {
-            let mut improved = false;
             let mut best_neighbor: Option<(State, EvaluatedConfig)> = None;
             for ti in 0..types.len() {
                 let (n, c, fi) = state.0[ti];
@@ -147,25 +183,20 @@ pub fn local_search(
                 for cand in candidates {
                     let mut next = state.clone();
                     next.0[ti] = cand;
-                    let Some(cluster) = materialize(types, &next) else {
+                    let Some(e) = ev.eval(types, &next) else {
                         continue;
                     };
-                    let e = evaluate(workload, cluster);
-                    evaluations += 1;
                     let reference = best_neighbor.as_ref().map_or(&current, |(_, e)| e);
                     if better(&e, reference, deadline) {
                         best_neighbor = Some((next, e));
                     }
                 }
             }
-            if let Some((next, e)) = best_neighbor {
-                state = next;
-                current = e;
-                improved = true;
-            }
-            if !improved {
+            let Some((next, e)) = best_neighbor else {
                 break;
-            }
+            };
+            state = next;
+            current = e;
         }
 
         if current.job_time <= deadline
@@ -179,7 +210,8 @@ pub fn local_search(
 
     SearchResult {
         best,
-        evaluations,
+        evaluations: ev.evaluations,
+        cache_hits: ev.cache_hits,
         restarts,
     }
 }
@@ -231,6 +263,21 @@ mod tests {
     }
 
     #[test]
+    fn memo_absorbs_revisited_states() {
+        let w = catalog::by_name("EP").unwrap();
+        let types = [TypeSpace::a9(4), TypeSpace::k10(2)];
+        let found = local_search(&w, &types, 0.1, 12, 42);
+        // Restarts re-walk overlapping neighborhoods, so a healthy share
+        // of state evaluations must come from the memo.
+        assert!(
+            found.cache_hits > found.evaluations / 4,
+            "only {} hits for {} evaluations",
+            found.cache_hits,
+            found.evaluations
+        );
+    }
+
+    #[test]
     fn infeasible_deadline_returns_none() {
         let w = catalog::by_name("x264").unwrap();
         let types = [TypeSpace::a9(2), TypeSpace::k10(1)];
@@ -245,9 +292,29 @@ mod tests {
         let a = local_search(&w, &types, 0.1, 4, 9);
         let b = local_search(&w, &types, 0.1, 4, 9);
         assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.cache_hits, b.cache_hits);
         assert_eq!(
             a.best.map(|e| e.cluster.label()),
             b.best.map(|e| e.cluster.label())
         );
+    }
+
+    #[test]
+    fn search_is_deterministic_under_the_pool() {
+        // The search itself is sequential, but it runs against the same
+        // cache-aware evaluator the pooled sweep uses; pinning different
+        // global thread counts must not perturb it.
+        let w = catalog::by_name("blackscholes").unwrap();
+        let types = [TypeSpace::a9(3), TypeSpace::k10(2)];
+        crate::set_eval_threads(1);
+        let a = local_search(&w, &types, 5.0, 6, 11);
+        crate::set_eval_threads(4);
+        let b = local_search(&w, &types, 5.0, 6, 11);
+        crate::set_eval_threads(0);
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.cache_hits, b.cache_hits);
+        let (ea, eb) = (a.best.unwrap(), b.best.unwrap());
+        assert_eq!(ea.job_energy.to_bits(), eb.job_energy.to_bits());
+        assert_eq!(ea.cluster, eb.cluster);
     }
 }

@@ -1,17 +1,31 @@
-//! Configuration-space enumeration and parallel time-energy evaluation.
+//! Configuration-space enumeration and time-energy evaluation.
+//!
+//! Enumeration is streaming: [`configurations`] yields `ClusterSpec`s one
+//! at a time from an odometer over the per-type tuples (with the
+//! [`NodeSpec`] shared by `Arc` across every group it appears in), so
+//! sweeps can evaluate in chunks without materializing the whole space.
+//! Evaluation runs on the vendored rayon chunked thread pool with
+//! source-order collection and composes memoized per-operating-point
+//! values through [`EvalCache`]; both the pool and the cache are
+//! **bit-identical** to a sequential, uncached evaluation (exact float
+//! equality — see `vendor/rayon` and [`crate::cache`] for the two
+//! contracts, and DESIGN.md §12 for the whole story).
 
+use crate::cache::{CacheStats, EvalCache};
 use enprop_clustersim::{ClusterSpec, NodeGroup, SwitchOverhead};
 use enprop_core::ClusterModel;
 use enprop_nodesim::NodeSpec;
 use enprop_workloads::Workload;
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// The per-type extent of the configuration space: up to `max_nodes` nodes
 /// of `spec`, every active-core count and every DVFS level.
 #[derive(Debug, Clone)]
 pub struct TypeSpace {
-    /// Node hardware type.
-    pub spec: NodeSpec,
+    /// Node hardware type (shared, not cloned, into every enumerated
+    /// group).
+    pub spec: Arc<NodeSpec>,
     /// Maximum number of nodes of this type (`n_max` in Table 1).
     pub max_nodes: u32,
     /// Interconnect overhead for budget math, if any.
@@ -22,7 +36,7 @@ impl TypeSpace {
     /// A9 space with the paper's switch overhead.
     pub fn a9(max_nodes: u32) -> Self {
         TypeSpace {
-            spec: NodeSpec::cortex_a9(),
+            spec: Arc::new(NodeSpec::cortex_a9()),
             max_nodes,
             switch: Some(SwitchOverhead::paper_a9()),
         }
@@ -31,7 +45,7 @@ impl TypeSpace {
     /// K10 space.
     pub fn k10(max_nodes: u32) -> Self {
         TypeSpace {
-            spec: NodeSpec::opteron_k10(),
+            spec: Arc::new(NodeSpec::opteron_k10()),
             max_nodes,
             switch: None,
         }
@@ -40,7 +54,7 @@ impl TypeSpace {
     /// Cortex-A15 space (extended node type).
     pub fn a15(max_nodes: u32) -> Self {
         TypeSpace {
-            spec: NodeSpec::cortex_a15(),
+            spec: Arc::new(NodeSpec::cortex_a15()),
             max_nodes,
             switch: Some(SwitchOverhead::paper_a9()),
         }
@@ -49,7 +63,7 @@ impl TypeSpace {
     /// Xeon E5 space (extended node type).
     pub fn xeon(max_nodes: u32) -> Self {
         TypeSpace {
-            spec: NodeSpec::xeon_e5(),
+            spec: Arc::new(NodeSpec::xeon_e5()),
             max_nodes,
             switch: None,
         }
@@ -73,9 +87,13 @@ pub fn count_configurations(types: &[TypeSpace]) -> u64 {
     product - 1
 }
 
-/// Materialize every configuration in the space.
-pub fn enumerate_configurations(types: &[TypeSpace]) -> Vec<ClusterSpec> {
-    // Per-type choice lists: None (absent) or Some(group).
+/// Streaming enumeration of every configuration in the space, in a fixed
+/// (odometer) order. The iterator reports an exact `size_hint`, so the
+/// thread pool chunks it deterministically and downstream collectors can
+/// pre-size.
+pub fn configurations(types: &[TypeSpace]) -> Configurations {
+    // Per-type choice lists: None (absent) or Some(group). Groups share
+    // the type's NodeSpec allocation via Arc.
     let mut choices: Vec<Vec<Option<NodeGroup>>> = Vec::with_capacity(types.len());
     for t in types {
         let mut opts = vec![None];
@@ -83,7 +101,7 @@ pub fn enumerate_configurations(types: &[TypeSpace]) -> Vec<ClusterSpec> {
             for c in 1..=t.spec.cores {
                 for &f in &t.spec.frequencies {
                     opts.push(Some(NodeGroup {
-                        spec: t.spec.clone(),
+                        spec: Arc::clone(&t.spec),
                         count: n,
                         cores: c,
                         freq: f,
@@ -94,32 +112,70 @@ pub fn enumerate_configurations(types: &[TypeSpace]) -> Vec<ClusterSpec> {
         }
         choices.push(opts);
     }
-    // Cartesian product, skipping the all-absent configuration.
-    let mut out = Vec::new();
-    let mut idx = vec![0usize; choices.len()];
-    loop {
-        let groups: Vec<NodeGroup> = idx
-            .iter()
-            .enumerate()
-            .filter_map(|(ti, &ci)| choices[ti][ci].clone())
-            .collect();
-        if !groups.is_empty() {
-            out.push(ClusterSpec::new(groups));
-        }
-        // Odometer increment.
-        let mut t = 0;
+    Configurations {
+        idx: vec![0; choices.len()],
+        choices,
+        remaining: count_configurations(types),
+        done: false,
+    }
+}
+
+/// The streaming iterator behind [`configurations`].
+#[derive(Debug, Clone)]
+pub struct Configurations {
+    choices: Vec<Vec<Option<NodeGroup>>>,
+    idx: Vec<usize>,
+    remaining: u64,
+    done: bool,
+}
+
+impl Iterator for Configurations {
+    type Item = ClusterSpec;
+
+    fn next(&mut self) -> Option<ClusterSpec> {
         loop {
-            if t == choices.len() {
-                return out;
+            if self.done {
+                return None;
             }
-            idx[t] += 1;
-            if idx[t] < choices[t].len() {
-                break;
+            let groups: Vec<NodeGroup> = self
+                .idx
+                .iter()
+                .enumerate()
+                .filter_map(|(ti, &ci)| self.choices[ti][ci].clone())
+                .collect();
+            // Odometer increment.
+            let mut t = 0;
+            loop {
+                if t == self.choices.len() {
+                    self.done = true;
+                    break;
+                }
+                self.idx[t] += 1;
+                if self.idx[t] < self.choices[t].len() {
+                    break;
+                }
+                self.idx[t] = 0;
+                t += 1;
             }
-            idx[t] = 0;
-            t += 1;
+            if !groups.is_empty() {
+                self.remaining -= 1;
+                return Some(ClusterSpec::new(groups));
+            }
         }
     }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = usize::try_from(self.remaining).unwrap_or(usize::MAX);
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Configurations {}
+
+/// Materialize every configuration in the space. Prefer the streaming
+/// [`configurations`] for large spaces.
+pub fn enumerate_configurations(types: &[TypeSpace]) -> Vec<ClusterSpec> {
+    configurations(types).collect()
 }
 
 /// A configuration with its modeled time-energy outcome.
@@ -139,24 +195,124 @@ pub struct EvaluatedConfig {
     pub nameplate_w: f64,
 }
 
-/// Evaluate every configuration under the Table-2 model, in parallel.
+/// Evaluate one configuration under the Table-2 model — the single
+/// evaluation helper shared by `evaluate_space` and `local_search`.
+/// With a cache, cluster values compose from memoized operating points;
+/// without one, a fresh [`ClusterModel`] is built. Both paths return
+/// bit-identical results (the [`crate::cache`] contract).
+pub fn evaluate_config(
+    workload: &Workload,
+    cluster: ClusterSpec,
+    cache: Option<&EvalCache>,
+) -> EvaluatedConfig {
+    if let Some(cache) = cache {
+        return cache.evaluate(workload, cluster);
+    }
+    let nameplate_w = cluster.nameplate_w();
+    let idle_power_w = cluster.idle_w();
+    let model = ClusterModel::new(workload.clone(), cluster);
+    EvaluatedConfig {
+        job_time: model.job_time(),
+        job_energy: model.job_energy(),
+        busy_power_w: model.busy_power_w(),
+        idle_power_w,
+        nameplate_w,
+        cluster: model.cluster().clone(),
+    }
+}
+
+/// Knobs for [`evaluate_space_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct EvalOptions {
+    /// Worker threads; `None` resolves through the pool's global order
+    /// (`set_eval_threads` → `RAYON_NUM_THREADS`/`ENPROP_THREADS` →
+    /// available parallelism).
+    pub threads: Option<usize>,
+    /// Memoize operating points in an [`EvalCache`].
+    pub cache: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            threads: None,
+            cache: true,
+        }
+    }
+}
+
+/// What one `evaluate_space_with` run did — the observability surface the
+/// CLI turns into diag lines, per-chunk spans and cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Configurations evaluated.
+    pub evaluated: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Source chunk length the pool used (configs per chunk).
+    pub chunk_len: usize,
+    /// Number of chunks the source was split into.
+    pub chunks: usize,
+    /// Cache totals, when caching was on.
+    pub cache: Option<CacheStats>,
+}
+
+/// Evaluate every configuration under the Table-2 model on the thread
+/// pool, with memoized operating points (both default-on; results are
+/// bit-identical to a sequential uncached run for any thread count).
 pub fn evaluate_space(workload: &Workload, configs: Vec<ClusterSpec>) -> Vec<EvaluatedConfig> {
-    configs
+    evaluate_space_with(workload, configs, EvalOptions::default()).0
+}
+
+/// [`evaluate_space`] with explicit thread/cache control and run
+/// statistics. Accepts any sendable configuration source (a `Vec` or the
+/// streaming [`configurations`] iterator), preserving source order in the
+/// output.
+pub fn evaluate_space_with<C>(
+    workload: &Workload,
+    configs: C,
+    opts: EvalOptions,
+) -> (Vec<EvaluatedConfig>, EvalStats)
+where
+    C: IntoIterator<Item = ClusterSpec>,
+    C::IntoIter: Send,
+{
+    let iter = configs.into_iter();
+    let (lo, hi) = iter.size_hint();
+    let est = hi.unwrap_or(lo);
+    let threads = opts.threads.unwrap_or_else(rayon::current_num_threads).max(1);
+    let cache = opts.cache.then(|| EvalCache::new(workload));
+    let cache_ref = cache.as_ref();
+    let out: Vec<EvaluatedConfig> = iter
         .into_par_iter()
-        .map(|cluster| {
-            let nameplate_w = cluster.nameplate_w();
-            let idle_power_w = cluster.idle_w();
-            let model = ClusterModel::new(workload.clone(), cluster);
-            EvaluatedConfig {
-                job_time: model.job_time(),
-                job_energy: model.job_energy(),
-                busy_power_w: model.busy_power_w(),
-                idle_power_w,
-                nameplate_w,
-                cluster: model.cluster().clone(),
-            }
-        })
-        .collect()
+        .with_threads(threads)
+        .map(|cluster| evaluate_config(workload, cluster, cache_ref))
+        .collect();
+    let (chunk_len, chunks) = if threads == 1 {
+        (out.len(), usize::from(!out.is_empty()))
+    } else {
+        let chunk = rayon::chunk_len(est.max(1), threads);
+        (chunk, out.len().div_ceil(chunk))
+    };
+    let stats = EvalStats {
+        evaluated: out.len(),
+        threads,
+        chunk_len,
+        chunks,
+        cache: cache.map(|c| c.stats()),
+    };
+    (out, stats)
+}
+
+/// Set the process-wide worker-thread count for space evaluation (and
+/// every other pool user); `0` restores the environment/host default.
+pub fn set_eval_threads(n: usize) {
+    rayon::set_num_threads(n);
+}
+
+/// The worker-thread count evaluation will currently use.
+pub fn eval_threads() -> usize {
+    rayon::current_num_threads()
 }
 
 #[cfg(test)]
@@ -185,6 +341,33 @@ mod tests {
     }
 
     #[test]
+    fn streaming_enumeration_reports_exact_sizes() {
+        let types = [TypeSpace::a9(2), TypeSpace::k10(1)];
+        let mut iter = configurations(&types);
+        let total = count_configurations(&types);
+        assert_eq!(iter.len() as u64, total);
+        let mut seen = 0u64;
+        while let Some(c) = iter.next() {
+            assert!(c.node_count() > 0);
+            seen += 1;
+            assert_eq!(iter.len() as u64, total - seen);
+        }
+        assert_eq!(seen, total);
+        assert_eq!(iter.next(), None, "fused after exhaustion");
+    }
+
+    #[test]
+    fn enumerated_groups_share_the_spec_allocation() {
+        let types = [TypeSpace::a9(2)];
+        let configs = enumerate_configurations(&types);
+        for c in &configs {
+            for g in &c.groups {
+                assert!(Arc::ptr_eq(&g.spec, &types[0].spec));
+            }
+        }
+    }
+
+    #[test]
     fn single_type_space_has_no_empty_config() {
         let types = [TypeSpace::k10(3)];
         let configs = enumerate_configurations(&types);
@@ -207,16 +390,75 @@ mod tests {
     }
 
     #[test]
+    fn pooled_cached_and_sequential_uncached_agree_bitwise() {
+        let w = catalog::by_name("blackscholes").unwrap();
+        let types = [TypeSpace::a9(3), TypeSpace::k10(2)];
+        let (baseline, base_stats) = evaluate_space_with(
+            &w,
+            configurations(&types),
+            EvalOptions {
+                threads: Some(1),
+                cache: false,
+            },
+        );
+        assert_eq!(base_stats.threads, 1);
+        assert!(base_stats.cache.is_none());
+        for threads in [2, 5, 8] {
+            for cache in [false, true] {
+                let (got, stats) = evaluate_space_with(
+                    &w,
+                    configurations(&types),
+                    EvalOptions {
+                        threads: Some(threads),
+                        cache,
+                    },
+                );
+                assert_eq!(got.len(), baseline.len());
+                for (a, b) in baseline.iter().zip(&got) {
+                    assert_eq!(a.job_time.to_bits(), b.job_time.to_bits());
+                    assert_eq!(a.job_energy.to_bits(), b.job_energy.to_bits());
+                    assert_eq!(a.busy_power_w.to_bits(), b.busy_power_w.to_bits());
+                    assert_eq!(a.cluster, b.cluster);
+                }
+                assert_eq!(stats.threads, threads);
+                assert_eq!(stats.cache.is_some(), cache);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_report_deterministic_cache_totals_under_threads() {
+        let w = catalog::by_name("EP").unwrap();
+        let types = [TypeSpace::a9(2), TypeSpace::k10(2)];
+        let reference = evaluate_space_with(
+            &w,
+            configurations(&types),
+            EvalOptions {
+                threads: Some(1),
+                cache: true,
+            },
+        )
+        .1;
+        for threads in [2, 4, 9] {
+            let stats = evaluate_space_with(
+                &w,
+                configurations(&types),
+                EvalOptions {
+                    threads: Some(threads),
+                    cache: true,
+                },
+            )
+            .1;
+            assert_eq!(stats.cache, reference.cache, "threads = {threads}");
+            assert_eq!(stats.evaluated, reference.evaluated);
+        }
+    }
+
+    #[test]
     fn more_hardware_is_never_slower() {
         let w = catalog::by_name("blackscholes").unwrap();
-        let small = evaluate_space(
-            &w,
-            vec![ClusterSpec::a9_k10(4, 1)],
-        );
-        let big = evaluate_space(
-            &w,
-            vec![ClusterSpec::a9_k10(8, 2)],
-        );
+        let small = evaluate_space(&w, vec![ClusterSpec::a9_k10(4, 1)]);
+        let big = evaluate_space(&w, vec![ClusterSpec::a9_k10(8, 2)]);
         assert!(big[0].job_time < small[0].job_time);
     }
 }

@@ -1,0 +1,71 @@
+#![allow(clippy::unwrap_used)] // test code: panicking on a broken fixture is the desired failure mode
+
+//! Property tests for the evaluation pipeline's determinism contract
+//! (DESIGN.md §12): for any bounded space, any workload and any pool
+//! size, the pooled and memoized sweeps reproduce the sequential
+//! uncached sweep exactly — every `f64` bit, not within a tolerance.
+
+use enprop_explore::{configurations, evaluate_space_with, EvalOptions, TypeSpace};
+use enprop_workloads::catalog;
+use proptest::prelude::*;
+
+/// Bitwise field-by-field comparison of two evaluated spaces.
+fn assert_bit_identical(
+    a: &[enprop_explore::EvaluatedConfig],
+    b: &[enprop_explore::EvaluatedConfig],
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        prop_assert_eq!(&x.cluster, &y.cluster);
+        prop_assert_eq!(x.job_time.to_bits(), y.job_time.to_bits());
+        prop_assert_eq!(x.job_energy.to_bits(), y.job_energy.to_bits());
+        prop_assert_eq!(x.busy_power_w.to_bits(), y.busy_power_w.to_bits());
+        prop_assert_eq!(x.idle_power_w.to_bits(), y.idle_power_w.to_bits());
+        prop_assert_eq!(x.nameplate_w.to_bits(), y.nameplate_w.to_bits());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pooled_and_memoized_sweeps_are_bit_identical(
+        a9 in 0u32..4,
+        k10 in 0u32..3,
+        threads in 2usize..9,
+        wi in 0usize..64,
+        cached in 0u8..2,
+    ) {
+        prop_assume!(a9 + k10 > 0);
+        let all = catalog::all();
+        let w = &all[wi % all.len()];
+        let types = [TypeSpace::a9(a9), TypeSpace::k10(k10)];
+        let baseline = EvalOptions { threads: Some(1), cache: false };
+        let variant = EvalOptions { threads: Some(threads), cache: cached == 1 };
+        let (seq, _) = evaluate_space_with(w, configurations(&types), baseline);
+        let (par, stats) = evaluate_space_with(w, configurations(&types), variant);
+        prop_assert_eq!(stats.threads, threads);
+        prop_assert_eq!(stats.cache.is_some(), cached == 1);
+        assert_bit_identical(&seq, &par)?;
+    }
+
+    #[test]
+    fn memoized_sweep_is_idempotent_across_pool_sizes(
+        threads_a in 1usize..7,
+        threads_b in 1usize..7,
+        wi in 0usize..64,
+    ) {
+        let all = catalog::all();
+        let w = &all[wi % all.len()];
+        let types = [TypeSpace::a9(3), TypeSpace::k10(2)];
+        let opts_a = EvalOptions { threads: Some(threads_a), cache: true };
+        let opts_b = EvalOptions { threads: Some(threads_b), cache: true };
+        let (a, sa) = evaluate_space_with(w, configurations(&types), opts_a);
+        let (b, sb) = evaluate_space_with(w, configurations(&types), opts_b);
+        assert_bit_identical(&a, &b)?;
+        // Cache totals are interleaving-independent: each distinct
+        // operating point misses exactly once, whatever the pool size.
+        prop_assert_eq!(sa.cache.unwrap(), sb.cache.unwrap());
+    }
+}

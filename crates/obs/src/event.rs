@@ -10,6 +10,11 @@ pub enum Track {
     Dispatcher,
     /// The standalone single-server queue simulator.
     Queue,
+    /// Configuration-space exploration. Events on this track use
+    /// *config-index* time (the position in the enumeration order), not
+    /// seconds: evaluation is model arithmetic, not a simulated timeline,
+    /// and index time keeps the trace bit-identical for any thread count.
+    Explore,
     /// One simulated node, addressed by group and index within the group.
     Node {
         /// Node-group index in the cluster spec.
@@ -26,6 +31,7 @@ impl Track {
             Track::Cluster => 1,
             Track::Dispatcher => 2,
             Track::Queue => 3,
+            Track::Explore => 4,
             Track::Node { group, node } => 16 + u64::from(group) * 1024 + u64::from(node),
         }
     }
@@ -36,6 +42,7 @@ impl Track {
             Track::Cluster => "cluster".into(),
             Track::Dispatcher => "dispatcher".into(),
             Track::Queue => "queue".into(),
+            Track::Explore => "explore".into(),
             Track::Node { group, node } => format!("node g{group}.n{node}"),
         }
     }
@@ -122,6 +129,7 @@ mod tests {
             Track::Cluster,
             Track::Dispatcher,
             Track::Queue,
+            Track::Explore,
             Track::Node { group: 0, node: 0 },
             Track::Node { group: 0, node: 1 },
             Track::Node { group: 1, node: 0 },

@@ -2,7 +2,7 @@
 # `./scripts/verify.sh` is the no-just fallback.
 
 # Build, test and lint the whole workspace (warnings are errors).
-verify: && obs-smoke
+verify: && obs-smoke perf-smoke
     cargo build --release --workspace --offline
     cargo test -q --workspace --offline
     cargo clippy --workspace --all-targets --offline -- -D warnings
@@ -20,6 +20,13 @@ obs-smoke:
     grep -q traceEvents "$tmp/t.json"
     grep -q enprop-obs-metrics-v1 "$tmp/m.json"
     echo "obs-smoke: OK"
+
+# Perf regression gate for the evaluation pipeline: reduced sweep,
+# sequential vs pooled vs pooled+memoized, appends BENCH_space_eval.json
+# (DESIGN.md §12). Exits 1 if the optimized path regresses past the
+# sequential baseline.
+perf-smoke:
+    cargo run --release -p enprop-bench --bin perf_smoke --offline
 
 # Fast signal while iterating.
 check:

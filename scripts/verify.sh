@@ -25,4 +25,6 @@ trap 'rm -rf "$obs_tmp"' EXIT
     --metrics-out "$obs_tmp/m.json" >/dev/null
 grep -q traceEvents "$obs_tmp/t.json"
 grep -q enprop-obs-metrics-v1 "$obs_tmp/m.json"
+echo "==> perf smoke (pooled + memoized evaluation must not regress)"
+cargo run --release -p enprop-bench --bin perf_smoke --offline
 echo "verify: OK"

@@ -1,108 +1,390 @@
-//! Offline drop-in subset of `rayon`.
+//! Offline drop-in subset of `rayon`, with a **real chunked thread pool**.
 //!
 //! Vendored because the build environment cannot reach crates.io. The
-//! `par_iter`/`into_par_iter` API surface this workspace uses is provided
-//! with *sequential* execution: every adaptor preserves rayon's semantics
-//! (same results, same reduction identities) without threads. Swap back to
-//! the real crate by deleting the `[patch.crates-io]` entry.
+//! `par_iter`/`into_par_iter` surface this workspace uses executes on
+//! std scoped threads: the source iterator is pulled in contiguous chunks
+//! under a `parking_lot::Mutex`, each worker runs the adaptor pipeline
+//! over its chunk, and chunk outputs are re-assembled in source order.
+//!
+//! ## Determinism contract (stronger than upstream rayon)
+//!
+//! Every value-returning consumer (`collect`, `sum`, `reduce`, `min_by`,
+//! `count`, …) is **bit-identical to sequential execution for any thread
+//! count**: the adaptor closures (`map`/`filter`/`flat_map`) run in
+//! parallel, but their outputs are restored to source order before any
+//! reduction is applied, and the reduction itself runs sequentially over
+//! that ordered stream. Floating-point folds therefore associate exactly
+//! as they would under `Iterator::fold` — no tree-shaped reduction ever
+//! reorders them. The single exception is [`ParIter::for_each`], whose
+//! side effects run concurrently inside the workers (like upstream rayon);
+//! callers needing ordered effects should `collect` first.
+//!
+//! ## Thread-count override
+//!
+//! Worker count resolves, in order: [`ParIter::with_threads`] (per call) →
+//! [`set_num_threads`] (process-wide) → `RAYON_NUM_THREADS` /
+//! `ENPROP_THREADS` env vars → `std::thread::available_parallelism()`.
+//! A resolved count of 1 takes a pure sequential path (no threads, no
+//! locks). Swap back to the real crate by deleting the
+//! `[patch.crates-io]` entry (and re-checking float reductions: upstream
+//! `reduce`/`sum` are tree-shaped and not bit-stable across runs).
 
 #![forbid(unsafe_code)]
 
-/// Number of worker threads rayon would use (the host's available
-/// parallelism; this stub still reports it so chunking heuristics keep
-/// their shape).
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide worker-count override; 0 means "not set".
+static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the process-wide worker count for subsequent parallel iterators
+/// (the simplified stand-in for rayon's global `ThreadPoolBuilder`).
+/// `0` clears the override.
+pub fn set_num_threads(n: usize) {
+    NUM_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// Number of worker threads a parallel iterator will use: the
+/// [`set_num_threads`] override if set, else `RAYON_NUM_THREADS` or
+/// `ENPROP_THREADS` from the environment, else the host's available
+/// parallelism.
 pub fn current_num_threads() -> usize {
+    let n = NUM_THREADS.load(Ordering::Relaxed);
+    if n > 0 {
+        return n;
+    }
+    for var in ["RAYON_NUM_THREADS", "ENPROP_THREADS"] {
+        if let Some(n) = std::env::var(var).ok().and_then(|s| s.parse::<usize>().ok()) {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
-/// A "parallel" iterator: a thin wrapper over a sequential iterator that
-/// exposes rayon's method set (notably `reduce` with an identity factory,
-/// which differs from `Iterator::reduce`).
-#[derive(Debug, Clone)]
-pub struct ParIter<I>(I);
+/// Chunk length the pool uses for a source of `items` elements on
+/// `threads` workers: ~8 chunks per worker for load balancing, clamped so
+/// tiny inputs are not over-split and huge ones are not under-split.
+/// Exposed so instrumentation layers can reconstruct the exact chunk
+/// boundaries the pool used.
+pub fn chunk_len(items: usize, threads: usize) -> usize {
+    (items / (threads.max(1) * 8)).clamp(16, 1024)
+}
 
-impl<I: Iterator> ParIter<I> {
+/// One stage of the adaptor pipeline: push-based so `filter`/`flat_map`
+/// compose without per-item allocation. `apply` feeds every output of
+/// `item` to `emit`, in order.
+pub trait ItemOp<T>: Sync {
+    /// Output element type of the pipeline up to this stage.
+    type Out: Send;
+    /// Run the pipeline on one source item.
+    fn apply(&self, item: T, emit: &mut dyn FnMut(Self::Out));
+}
+
+/// The empty pipeline: source items pass through.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Identity;
+
+impl<T: Send> ItemOp<T> for Identity {
+    type Out = T;
+    fn apply(&self, item: T, emit: &mut dyn FnMut(T)) {
+        emit(item);
+    }
+}
+
+/// Pipeline stage for [`ParIter::map`].
+#[derive(Clone)]
+pub struct MapOp<P, F> {
+    prev: P,
+    f: F,
+}
+
+impl<T, P, F, O> ItemOp<T> for MapOp<P, F>
+where
+    P: ItemOp<T>,
+    F: Fn(P::Out) -> O + Sync,
+    O: Send,
+{
+    type Out = O;
+    fn apply(&self, item: T, emit: &mut dyn FnMut(O)) {
+        self.prev.apply(item, &mut |x| emit((self.f)(x)));
+    }
+}
+
+/// Pipeline stage for [`ParIter::filter`].
+#[derive(Clone)]
+pub struct FilterOp<P, F> {
+    prev: P,
+    f: F,
+}
+
+impl<T, P, F> ItemOp<T> for FilterOp<P, F>
+where
+    P: ItemOp<T>,
+    F: Fn(&P::Out) -> bool + Sync,
+{
+    type Out = P::Out;
+    fn apply(&self, item: T, emit: &mut dyn FnMut(P::Out)) {
+        self.prev.apply(item, &mut |x| {
+            if (self.f)(&x) {
+                emit(x);
+            }
+        });
+    }
+}
+
+/// Pipeline stage for [`ParIter::flat_map`].
+#[derive(Clone)]
+pub struct FlatMapOp<P, F> {
+    prev: P,
+    f: F,
+}
+
+impl<T, P, F, O> ItemOp<T> for FlatMapOp<P, F>
+where
+    P: ItemOp<T>,
+    F: Fn(P::Out) -> O + Sync,
+    O: IntoIterator,
+    O::Item: Send,
+{
+    type Out = O::Item;
+    fn apply(&self, item: T, emit: &mut dyn FnMut(O::Item)) {
+        self.prev.apply(item, &mut |x| {
+            for y in (self.f)(x) {
+                emit(y);
+            }
+        });
+    }
+}
+
+/// A parallel iterator: a source iterator plus an adaptor pipeline,
+/// executed on the chunked pool when a consumer is called.
+#[derive(Clone)]
+pub struct ParIter<I, Op = Identity> {
+    base: I,
+    op: Op,
+    threads: Option<usize>,
+}
+
+/// Chunk puller shared by the workers: the source iterator plus the next
+/// chunk sequence number, behind one mutex.
+struct Source<I> {
+    iter: I,
+    next_seq: usize,
+}
+
+impl<I, Op> ParIter<I, Op>
+where
+    I: Iterator + Send,
+    I::Item: Send,
+    Op: ItemOp<I::Item>,
+{
+    /// Pin this iterator to at most `n` workers (`0` = use the global
+    /// resolution order). Extension over upstream rayon so tests and
+    /// library APIs can pin 1 vs N without touching process state.
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
     /// Map each item.
-    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
-        ParIter(self.0.map(f))
+    pub fn map<O: Send, F: Fn(Op::Out) -> O + Sync>(self, f: F) -> ParIter<I, MapOp<Op, F>> {
+        ParIter {
+            base: self.base,
+            op: MapOp { prev: self.op, f },
+            threads: self.threads,
+        }
     }
 
     /// Keep items matching the predicate.
-    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
-        ParIter(self.0.filter(f))
+    pub fn filter<F: Fn(&Op::Out) -> bool + Sync>(self, f: F) -> ParIter<I, FilterOp<Op, F>> {
+        ParIter {
+            base: self.base,
+            op: FilterOp { prev: self.op, f },
+            threads: self.threads,
+        }
     }
 
     /// Map then flatten.
-    pub fn flat_map<O: IntoIterator, F: FnMut(I::Item) -> O>(
-        self,
-        f: F,
-    ) -> ParIter<std::iter::FlatMap<I, O, F>> {
-        ParIter(self.0.flat_map(f))
+    pub fn flat_map<O, F>(self, f: F) -> ParIter<I, FlatMapOp<Op, F>>
+    where
+        O: IntoIterator,
+        O::Item: Send,
+        F: Fn(Op::Out) -> O + Sync,
+    {
+        ParIter {
+            base: self.base,
+            op: FlatMapOp { prev: self.op, f },
+            threads: self.threads,
+        }
     }
 
-    /// Run `f` on every item.
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.0.for_each(f);
+    /// Resolved worker count for this iterator.
+    fn resolved_threads(&self) -> usize {
+        self.threads.unwrap_or_else(current_num_threads).max(1)
     }
 
-    /// Sum all items.
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.0.sum()
+    /// Execute the pipeline, returning outputs in source order. The heart
+    /// of the determinism contract: workers pull contiguous chunks from
+    /// the shared source, and chunk outputs are re-assembled by sequence
+    /// number, so the returned `Vec` is identical for every thread count.
+    fn run(self) -> Vec<Op::Out> {
+        let threads = self.resolved_threads();
+        let (lo, hi) = self.base.size_hint();
+        let est = hi.unwrap_or(lo);
+        if threads == 1 || est == 1 {
+            let mut out = Vec::with_capacity(est);
+            let op = self.op;
+            for item in self.base {
+                op.apply(item, &mut |x| out.push(x));
+            }
+            return out;
+        }
+        let chunk = chunk_len(est.max(1), threads);
+        // Never park more workers than there are chunks to hand out (when
+        // the source size is known).
+        let workers = if est > 0 {
+            threads.min(est.div_ceil(chunk))
+        } else {
+            threads
+        };
+        let source = Mutex::new(Source {
+            iter: self.base,
+            next_seq: 0,
+        });
+        let chunks: Mutex<Vec<(usize, Vec<Op::Out>)>> = Mutex::new(Vec::new());
+        let op = &self.op;
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let (seq, batch) = {
+                        let mut src = source.lock();
+                        let batch: Vec<I::Item> = src.iter.by_ref().take(chunk).collect();
+                        if batch.is_empty() {
+                            break;
+                        }
+                        let seq = src.next_seq;
+                        src.next_seq += 1;
+                        (seq, batch)
+                    };
+                    let mut out = Vec::with_capacity(batch.len());
+                    for item in batch {
+                        op.apply(item, &mut |x| out.push(x));
+                    }
+                    chunks.lock().push((seq, out));
+                });
+            }
+        });
+        let mut parts = chunks.into_inner();
+        parts.sort_by_key(|&(seq, _)| seq);
+        let mut out = Vec::with_capacity(est);
+        for (_, mut part) in parts {
+            out.append(&mut part);
+        }
+        out
+    }
+
+    /// Run `f` on every item **inside the workers** — side effects are
+    /// concurrent and unordered, matching upstream rayon. The only
+    /// consumer outside the bit-identity contract; `collect` first if
+    /// effect order matters.
+    pub fn for_each<F: Fn(Op::Out) + Sync>(self, f: F) {
+        let threads = self.resolved_threads();
+        if threads == 1 {
+            let op = self.op;
+            for item in self.base {
+                op.apply(item, &mut |x| f(x));
+            }
+            return;
+        }
+        let (lo, hi) = self.base.size_hint();
+        let est = hi.unwrap_or(lo);
+        let chunk = chunk_len(est.max(1), threads);
+        let source = Mutex::new(Source {
+            iter: self.base,
+            next_seq: 0,
+        });
+        let op = &self.op;
+        let f = &f;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let batch: Vec<I::Item> = {
+                        let mut src = source.lock();
+                        src.iter.by_ref().take(chunk).collect()
+                    };
+                    if batch.is_empty() {
+                        break;
+                    }
+                    for item in batch {
+                        op.apply(item, &mut |x| f(x));
+                    }
+                });
+            }
+        });
+    }
+
+    /// Collect into any `FromIterator` container, in source order.
+    pub fn collect<C: FromIterator<Op::Out>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    /// Sum all items (sequential fold over the ordered outputs:
+    /// bit-identical to `Iterator::sum`).
+    pub fn sum<S: std::iter::Sum<Op::Out>>(self) -> S {
+        self.run().into_iter().sum()
     }
 
     /// Count items.
     pub fn count(self) -> usize {
-        self.0.count()
+        self.run().len()
     }
 
-    /// Collect into any `FromIterator` container (rayon supports `Vec`,
-    /// maps, etc.; sequentially every container works).
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.0.collect()
-    }
-
-    /// rayon-style reduce: fold from an identity factory. Sequential fold
-    /// gives the same result for associative operators, which rayon
-    /// requires anyway.
-    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    /// rayon-style reduce: fold from an identity factory. Applied
+    /// sequentially over the ordered outputs, so floating-point operators
+    /// associate exactly as a sequential fold would.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> Op::Out
     where
-        ID: Fn() -> I::Item,
-        OP: Fn(I::Item, I::Item) -> I::Item,
+        ID: Fn() -> Op::Out,
+        OP: Fn(Op::Out, Op::Out) -> Op::Out,
     {
-        self.0.fold(identity(), op)
+        self.run().into_iter().fold(identity(), op)
     }
 
-    /// Minimum by comparator.
-    pub fn min_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(
+    /// Minimum by comparator (first minimum in source order, like
+    /// `Iterator::min_by`).
+    pub fn min_by<F: FnMut(&Op::Out, &Op::Out) -> std::cmp::Ordering>(
         self,
         f: F,
-    ) -> Option<I::Item> {
-        self.0.min_by(f)
+    ) -> Option<Op::Out> {
+        self.run().into_iter().min_by(f)
     }
 
     /// Maximum by comparator.
-    pub fn max_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(
+    pub fn max_by<F: FnMut(&Op::Out, &Op::Out) -> std::cmp::Ordering>(
         self,
         f: F,
-    ) -> Option<I::Item> {
-        self.0.max_by(f)
+    ) -> Option<Op::Out> {
+        self.run().into_iter().max_by(f)
     }
 
     /// Minimum by key.
-    pub fn min_by_key<K: Ord, F: FnMut(&I::Item) -> K>(self, f: F) -> Option<I::Item> {
-        self.0.min_by_key(f)
+    pub fn min_by_key<K: Ord, F: FnMut(&Op::Out) -> K>(self, f: F) -> Option<Op::Out> {
+        self.run().into_iter().min_by_key(f)
     }
 
-    /// Whether any item satisfies the predicate.
-    pub fn any<F: FnMut(I::Item) -> bool>(self, mut f: F) -> bool {
-        let mut it = self.0;
-        it.any(&mut f)
+    /// Whether any item satisfies the predicate (no short-circuit; the
+    /// pipeline runs to completion, keeping the work deterministic).
+    pub fn any<F: FnMut(Op::Out) -> bool>(self, f: F) -> bool {
+        let mut f = f;
+        self.run().into_iter().any(&mut f)
     }
 
     /// Whether all items satisfy the predicate.
-    pub fn all<F: FnMut(I::Item) -> bool>(self, mut f: F) -> bool {
-        let mut it = self.0;
-        it.all(&mut f)
+    pub fn all<F: FnMut(Op::Out) -> bool>(self, f: F) -> bool {
+        let mut f = f;
+        self.run().into_iter().all(&mut f)
     }
 }
 
@@ -110,7 +392,11 @@ impl<I: Iterator> ParIter<I> {
 pub trait IntoParallelIterator: IntoIterator + Sized {
     /// rayon's `into_par_iter`.
     fn into_par_iter(self) -> ParIter<Self::IntoIter> {
-        ParIter(self.into_iter())
+        ParIter {
+            base: self.into_iter(),
+            op: Identity,
+            threads: None,
+        }
     }
 }
 
@@ -125,19 +411,27 @@ pub trait IntoParallelRefIterator<'data> {
     fn par_iter(&'data self) -> ParIter<Self::Iter>;
 }
 
-impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
     type Iter = std::slice::Iter<'data, T>;
 
     fn par_iter(&'data self) -> ParIter<Self::Iter> {
-        ParIter(self.iter())
+        ParIter {
+            base: self.iter(),
+            op: Identity,
+            threads: None,
+        }
     }
 }
 
-impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
     type Iter = std::slice::Iter<'data, T>;
 
     fn par_iter(&'data self) -> ParIter<Self::Iter> {
-        ParIter(self.as_slice().iter())
+        ParIter {
+            base: self.as_slice().iter(),
+            op: Identity,
+            threads: None,
+        }
     }
 }
 
@@ -149,6 +443,7 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn reduce_matches_fold_semantics() {
@@ -166,5 +461,102 @@ mod tests {
         assert_eq!(s, 30);
         let slice: &[i32] = &v;
         assert_eq!(slice.par_iter().count(), 4);
+    }
+
+    #[test]
+    fn collect_is_ordered_for_every_thread_count() {
+        let seq: Vec<u64> = (0u64..5000).map(|i| i * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 17] {
+            let par: Vec<u64> = (0u64..5000)
+                .into_par_iter()
+                .with_threads(threads)
+                .map(|i| i * 3 + 1)
+                .collect();
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn float_sum_is_bit_identical_to_sequential() {
+        let xs: Vec<f64> = (1..4000).map(|i| 1.0 / i as f64).collect();
+        let seq: f64 = xs.iter().map(|x| x.sqrt()).sum();
+        for threads in [1, 2, 7, 16] {
+            let par: f64 = xs
+                .par_iter()
+                .with_threads(threads)
+                .map(|x| x.sqrt())
+                .sum();
+            assert_eq!(seq.to_bits(), par.to_bits(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn filter_and_flat_map_preserve_order() {
+        let seq: Vec<u32> = (0u32..1000)
+            .filter(|i| i % 3 == 0)
+            .flat_map(|i| [i, i + 1])
+            .collect();
+        let par: Vec<u32> = (0u32..1000)
+            .into_par_iter()
+            .with_threads(6)
+            .filter(|i| i % 3 == 0)
+            .flat_map(|i| [i, i + 1])
+            .collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn for_each_visits_every_item_exactly_once() {
+        let sum = AtomicU64::new(0);
+        (1u64..=1000)
+            .into_par_iter()
+            .with_threads(5)
+            .for_each(|i| {
+                sum.fetch_add(i, Ordering::Relaxed);
+            });
+        assert_eq!(sum.into_inner(), 500_500);
+    }
+
+    #[test]
+    fn min_max_match_sequential() {
+        let v: Vec<i64> = (0..997).map(|i| (i * 7919) % 997).collect();
+        let got = v
+            .par_iter()
+            .with_threads(4)
+            .min_by(|a, b| a.cmp(b))
+            .copied();
+        assert_eq!(got, v.iter().min().copied());
+        let got = v
+            .par_iter()
+            .with_threads(4)
+            .max_by(|a, b| a.cmp(b))
+            .copied();
+        assert_eq!(got, v.iter().max().copied());
+    }
+
+    #[test]
+    fn empty_and_single_sources() {
+        let empty: Vec<u8> = Vec::new();
+        let out: Vec<u8> = empty.par_iter().with_threads(4).map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one: Vec<u8> = vec![9].into_par_iter().with_threads(4).collect();
+        assert_eq!(one, [9]);
+    }
+
+    #[test]
+    fn chunk_len_bounds() {
+        assert_eq!(super::chunk_len(10, 8), 16); // floor
+        assert_eq!(super::chunk_len(36_380, 8), 568);
+        assert_eq!(super::chunk_len(10_000_000, 4), 1024); // ceiling
+    }
+
+    #[test]
+    fn thread_override_resolution() {
+        // Per-iterator override beats everything and 0 clears it.
+        let v: Vec<u32> = (0..100).collect();
+        let a: Vec<u32> = v.par_iter().with_threads(3).map(|&x| x).collect();
+        let b: Vec<u32> = v.par_iter().with_threads(3).with_threads(0).map(|&x| x).collect();
+        assert_eq!(a, b);
+        assert!(super::current_num_threads() >= 1);
     }
 }
