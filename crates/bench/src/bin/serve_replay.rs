@@ -1,0 +1,110 @@
+//! `just serve-smoke` perf leg: a throughput gate for the online serving
+//! controller. Runs a large synthetic serving workload (with an active
+//! mixed fault plan) best-of-3, asserts the event loop clears a floor of
+//! requests per wall-second, and appends the timing to
+//! `BENCH_serve_replay.json` (JSONL, same record shape as
+//! `BENCH_obs.json`).
+//!
+//! The floor is deliberately loose — an order of magnitude under typical
+//! release-build throughput — so the gate trips on algorithmic
+//! regressions (a quadratic dispatch scan, a leaked event storm), not on
+//! machine noise.
+
+use enprop_clustersim::ClusterSpec;
+use enprop_faults::{FaultKind, FaultPlan, GroupFaultProfile, MtbfModel};
+use enprop_obs::{append_bench_record, BenchRecord, NoopRecorder};
+use enprop_serve::{
+    cluster_capacity_ops_s, default_ops_per_request, ArrivalModel, ArrivalSource, Controller,
+    ServeConfig, SyntheticArrivals,
+};
+use enprop_workloads::catalog;
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Best-of-n repetitions.
+const REPS: usize = 3;
+/// Requests served per run.
+const REQUESTS: u64 = 1_000_000;
+/// Minimum acceptable throughput, requests per wall-second.
+const FLOOR_REQ_PER_S: f64 = 100_000.0;
+const SEED: u64 = 7;
+
+fn main() -> ExitCode {
+    let workload = catalog::by_name("memcached").expect("memcached is in the catalog");
+    let cluster = ClusterSpec::a9_k10(6, 2);
+    let ops = default_ops_per_request(&workload, &cluster).expect("cluster has capacity");
+    let capacity = cluster_capacity_ops_s(&workload, &cluster).expect("cluster has capacity");
+    let rate = 0.6 * capacity / ops;
+    let profile = GroupFaultProfile {
+        mtbf: MtbfModel::Exponential { mtbf_s: 120.0 },
+        kinds: vec![
+            (0.5, FaultKind::Crash),
+            (0.3, FaultKind::Stall { duration_s: 2.0 }),
+            (0.2, FaultKind::Straggler { slowdown: 3.0 }),
+        ],
+    };
+    let plan = FaultPlan::uniform(SEED, profile, cluster.groups.len());
+    let mut cfg = ServeConfig::new(SEED);
+    cfg.repair_s = 15.0;
+    println!(
+        "serve-replay: {REQUESTS} requests on {} ({} nodes), active fault plan",
+        cluster.label(),
+        cluster.node_count()
+    );
+
+    let mut best_ms = f64::INFINITY;
+    let mut last_events = 0;
+    for _ in 0..REPS {
+        let arrivals = SyntheticArrivals::new(
+            ArrivalModel::Poisson { rate },
+            REQUESTS,
+            ops,
+            0.2,
+            SEED,
+        )
+        .expect("valid arrival model");
+        let mut source = ArrivalSource::Synthetic(arrivals);
+        let start = Instant::now();
+        let report = Controller::run(
+            &workload,
+            &cluster,
+            &plan,
+            &cfg,
+            &mut source,
+            &mut NoopRecorder,
+        )
+        .expect("serving run must terminate cleanly");
+        best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        last_events = report.events;
+        assert_eq!(report.arrivals, REQUESTS);
+        assert!(
+            report.conservation_ok(),
+            "conservation violated: {}",
+            report.conservation_line()
+        );
+    }
+    let req_per_s = REQUESTS as f64 / (best_ms / 1e3);
+    println!("  best of {REPS}: {best_ms:>9.1} ms   {req_per_s:>12.0} req/s   {last_events} events");
+
+    let path = Path::new("BENCH_serve_replay.json");
+    let record = BenchRecord {
+        cmd: "serve_replay.1m_chaos".into(),
+        wall_ms: best_ms,
+        seed: SEED,
+    };
+    if let Err(e) = append_bench_record(path, &record) {
+        eprintln!("serve-replay: cannot write {}: {e}", path.display());
+        return ExitCode::from(2);
+    }
+    println!("  appended 1 record to {}", path.display());
+
+    if req_per_s < FLOOR_REQ_PER_S {
+        eprintln!(
+            "serve-replay: FAIL — {req_per_s:.0} req/s is under the {FLOOR_REQ_PER_S:.0} req/s floor"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("serve-replay: OK");
+    ExitCode::SUCCESS
+}

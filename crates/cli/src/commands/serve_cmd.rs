@@ -1,0 +1,340 @@
+//! `enprop serve` / `enprop replay` / `enprop chaos` — the online serving
+//! mode: a fault-tolerant virtual-time cluster controller fed by a
+//! synthetic load generator, a recorded JSONL arrival trace, or a chaos
+//! sweep of randomized fault plans.
+
+use super::{ObsCtx, Opts};
+use crate::output::render_csv;
+use enprop_clustersim::{ClusterSpec, EnpropError, FaultKind, FaultPlan, GroupFaultProfile, MtbfModel};
+use enprop_serve::{
+    chaos_sweep, cluster_capacity_ops_s, default_ops_per_request, format_trace, parse_trace,
+    Arrival, ArrivalModel, ArrivalSource, Controller, ReplayCursor, ServeConfig, ServeReport,
+    SyntheticArrivals,
+};
+use enprop_workloads::catalog;
+use std::path::PathBuf;
+
+/// Knobs of the serving commands (parsed from the command line in `main`).
+#[derive(Debug, Clone)]
+pub struct ServeOpts {
+    /// Requests to generate (`serve`) or sample per chaos plan.
+    pub requests: u64,
+    /// Offered load as a fraction of fault-free cluster capacity (used
+    /// when `--rate` is absent).
+    pub utilization: f64,
+    /// Explicit mean arrival rate, requests/second (overrides
+    /// `--utilization`).
+    pub rate: Option<f64>,
+    /// Arrival process: `"poisson"` or `"diurnal"`.
+    pub arrival: String,
+    /// Diurnal cycle length, seconds.
+    pub period_s: f64,
+    /// Request size override, operations.
+    pub ops_per_request: Option<f64>,
+    /// p95 response-time objective, seconds.
+    pub slo_p95_s: f64,
+    /// Cluster power cap, watts (absent = uncapped).
+    pub power_cap_w: Option<f64>,
+    /// Per-node MTBF, seconds (absent = no fault injection).
+    pub mtbf_s: Option<f64>,
+    /// Stall length, seconds (adds a stall fault kind).
+    pub stall_s: Option<f64>,
+    /// Straggler slowdown factor (adds a straggler fault kind).
+    pub slowdown: Option<f64>,
+    /// Repair time for detected-down nodes, seconds.
+    pub repair_s: f64,
+    /// Admission-control bound on in-flight requests.
+    pub max_inflight: usize,
+    /// Write the generated arrival stream to this JSONL file (replayable
+    /// with `enprop replay --trace FILE`).
+    pub emit_arrivals: Option<PathBuf>,
+    /// Chaos sweep width (plans swept by `enprop chaos`).
+    pub plans: u32,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        ServeOpts {
+            requests: 10_000,
+            utilization: 0.6,
+            rate: None,
+            arrival: "poisson".into(),
+            period_s: 60.0,
+            ops_per_request: None,
+            slo_p95_s: 0.25,
+            power_cap_w: None,
+            mtbf_s: None,
+            stall_s: None,
+            slowdown: None,
+            repair_s: 30.0,
+            max_inflight: 10_000,
+            emit_arrivals: None,
+            plans: 8,
+        }
+    }
+}
+
+/// The serving workload default: the paper's latency-sensitive service.
+fn serving_workload(opts: &Opts) -> Result<enprop_workloads::Workload, EnpropError> {
+    let name = opts.workload.clone().unwrap_or_else(|| "memcached".into());
+    catalog::by_name(&name).ok_or_else(|| {
+        EnpropError::invalid_config(format!("unknown workload {name}; see --help"))
+    })
+}
+
+/// Build the controller config shared by `serve` and `replay`.
+fn serve_config(opts: &Opts, so: &ServeOpts) -> ServeConfig {
+    let mut cfg = ServeConfig::new(opts.seed);
+    cfg.slo_p95_s = so.slo_p95_s;
+    cfg.power_cap_w = so.power_cap_w.unwrap_or(f64::INFINITY);
+    cfg.repair_s = so.repair_s;
+    cfg.max_inflight = so.max_inflight;
+    cfg
+}
+
+/// Build the fault plan from the `--mtbf`/`--stall`/`--slowdown` flags
+/// (inert when `--mtbf` is absent, matching `enprop faults` semantics).
+fn serve_plan(opts: &Opts, so: &ServeOpts, groups: usize) -> FaultPlan {
+    let Some(mtbf_s) = so.mtbf_s else {
+        return FaultPlan::none();
+    };
+    let mut kinds = vec![(1.0, FaultKind::Crash)];
+    if let Some(duration_s) = so.stall_s {
+        kinds.push((1.0, FaultKind::Stall { duration_s }));
+    }
+    if let Some(slowdown) = so.slowdown {
+        kinds.push((1.0, FaultKind::Straggler { slowdown }));
+    }
+    FaultPlan::uniform(
+        opts.seed,
+        GroupFaultProfile {
+            mtbf: MtbfModel::Exponential { mtbf_s },
+            kinds,
+        },
+        groups,
+    )
+}
+
+/// `enprop serve`: generate a synthetic arrival stream and run the online
+/// controller over it, optionally writing the stream out for replay.
+pub fn serve_cmd(
+    opts: &Opts,
+    so: &ServeOpts,
+    a9: u32,
+    k10: u32,
+    ctx: &mut ObsCtx,
+) -> Result<(), EnpropError> {
+    let workload = serving_workload(opts)?;
+    let cluster = ClusterSpec::a9_k10(a9, k10);
+    let ops = match so.ops_per_request {
+        Some(o) => o,
+        None => default_ops_per_request(&workload, &cluster)?,
+    };
+    let rate = match so.rate {
+        Some(r) => r,
+        None => so.utilization * cluster_capacity_ops_s(&workload, &cluster)? / ops,
+    };
+    let model = match so.arrival.as_str() {
+        "poisson" => ArrivalModel::Poisson { rate },
+        "diurnal" => ArrivalModel::Diurnal {
+            // The requested rate is the cycle mean; the sinusoid swings
+            // symmetrically to half / one-and-a-half of it.
+            base_rate: rate * 0.5,
+            peak_rate: rate * 1.5,
+            period_s: so.period_s,
+        },
+        other => {
+            return Err(EnpropError::invalid_parameter(
+                "--arrival",
+                format!("expected poisson or diurnal, got {other}"),
+            ));
+        }
+    };
+    // Materialize the stream so `--emit-arrivals` and the run see the
+    // exact same timeline.
+    let mut generator = SyntheticArrivals::new(model, so.requests, ops, 0.2, opts.seed)?;
+    let mut arrivals: Vec<Arrival> = Vec::with_capacity(so.requests as usize);
+    while let Some(a) = generator.next_arrival() {
+        arrivals.push(a);
+    }
+    if let Some(path) = &so.emit_arrivals {
+        std::fs::write(path, format_trace(&arrivals)).map_err(|e| {
+            EnpropError::invalid_config(format!("cannot write {}: {e}", path.display()))
+        })?;
+        crate::diag::info(format!(
+            "wrote {} arrivals to {}",
+            arrivals.len(),
+            path.display()
+        ));
+    }
+
+    let plan = serve_plan(opts, so, cluster.groups.len());
+    let cfg = serve_config(opts, so);
+    let mut source = ArrivalSource::Replay(ReplayCursor::new(arrivals));
+    let report = Controller::run(&workload, &cluster, &plan, &cfg, &mut source, &mut ctx.rec)?;
+    print_report(opts, workload.name, &cluster, "serve", &report);
+    Ok(())
+}
+
+/// `enprop replay`: run the controller over a recorded JSONL arrival
+/// trace.
+pub fn replay_cmd(
+    opts: &Opts,
+    so: &ServeOpts,
+    trace_path: &PathBuf,
+    a9: u32,
+    k10: u32,
+    ctx: &mut ObsCtx,
+) -> Result<(), EnpropError> {
+    let workload = serving_workload(opts)?;
+    let cluster = ClusterSpec::a9_k10(a9, k10);
+    let default_ops = match so.ops_per_request {
+        Some(o) => o,
+        None => default_ops_per_request(&workload, &cluster)?,
+    };
+    let text = std::fs::read_to_string(trace_path).map_err(|e| {
+        EnpropError::invalid_config(format!("cannot read {}: {e}", trace_path.display()))
+    })?;
+    let arrivals = parse_trace(&text, default_ops)?;
+    crate::diag::info(format!(
+        "replaying {} arrivals from {}",
+        arrivals.len(),
+        trace_path.display()
+    ));
+
+    let plan = serve_plan(opts, so, cluster.groups.len());
+    let cfg = serve_config(opts, so);
+    let mut source = ArrivalSource::Replay(ReplayCursor::new(arrivals));
+    let report = Controller::run(&workload, &cluster, &plan, &cfg, &mut source, &mut ctx.rec)?;
+    print_report(opts, workload.name, &cluster, "replay", &report);
+    Ok(())
+}
+
+/// `enprop chaos`: sweep randomized fault plans and verify the robustness
+/// invariants (conservation, span balance, termination) hold in each.
+pub fn chaos_cmd(opts: &Opts, so: &ServeOpts, a9: u32, k10: u32) -> Result<(), EnpropError> {
+    let workload = serving_workload(opts)?;
+    let cluster = ClusterSpec::a9_k10(a9, k10);
+    let cfg = serve_config(opts, so);
+    let out = chaos_sweep(&workload, &cluster, &cfg, so.plans, so.requests, so.utilization)?;
+
+    if !opts.csv {
+        println!(
+            "Chaos sweep: {} on {} ({} nodes), {} plans x {} requests @ {:.0}% load\n",
+            workload.name,
+            cluster.label(),
+            cluster.node_count(),
+            so.plans,
+            so.requests,
+            so.utilization * 100.0
+        );
+    }
+    let mut rows = vec![vec![
+        "plan".to_string(),
+        "faults".to_string(),
+        "repairs".to_string(),
+        "completions".to_string(),
+        "shed".to_string(),
+        "p95_s".to_string(),
+        "conservation".to_string(),
+        "spans".to_string(),
+    ]];
+    for p in &out.plans {
+        let r = &p.report;
+        rows.push(vec![
+            p.plan.to_string(),
+            (r.crashes + r.stalls + r.stragglers).to_string(),
+            r.repairs.to_string(),
+            r.completions.to_string(),
+            r.shed().to_string(),
+            format!("{:.4}", r.p95_s),
+            if p.conservation_ok { "ok" } else { "VIOLATED" }.to_string(),
+            if p.spans_balanced { "balanced" } else { "LEAKED" }.to_string(),
+        ]);
+    }
+    if opts.csv {
+        print!("{}", render_csv(&rows));
+    } else {
+        print!("{}", crate::output::render_table(&rows));
+        println!();
+    }
+    for (plan, err) in &out.run_errors {
+        crate::diag::error(format!("plan {plan} failed to run: {err}"));
+    }
+    println!("{}", out.summary_line());
+    if !out.all_ok() {
+        return Err(EnpropError::ClusterDead {
+            detail: "chaos sweep violated a serving invariant (see report above)".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Print the serving report: accounting, latency/energy aggregates, and
+/// every reconfiguration decision class — ending with the conservation
+/// line the smoke gates grep.
+fn print_report(opts: &Opts, workload: &str, cluster: &ClusterSpec, mode: &str, r: &ServeReport) {
+    if opts.csv {
+        let rows = vec![
+            vec!["metric".to_string(), "value".to_string()],
+            vec!["arrivals".into(), r.arrivals.to_string()],
+            vec!["completions".into(), r.completions.to_string()],
+            vec!["shed_admission".into(), r.shed_admission.to_string()],
+            vec!["shed_retry".into(), r.shed_retry.to_string()],
+            vec!["in_flight_at_stop".into(), r.in_flight_at_stop.to_string()],
+            vec!["timeouts".into(), r.timeouts.to_string()],
+            vec!["retries".into(), r.retries.to_string()],
+            vec!["reroutes".into(), r.reroutes.to_string()],
+            vec!["crashes".into(), r.crashes.to_string()],
+            vec!["stalls".into(), r.stalls.to_string()],
+            vec!["stragglers".into(), r.stragglers.to_string()],
+            vec!["repairs".into(), r.repairs.to_string()],
+            vec!["activations".into(), r.activations.to_string()],
+            vec!["deactivations".into(), r.deactivations.to_string()],
+            vec!["dvfs_up".into(), r.dvfs_up.to_string()],
+            vec!["dvfs_down".into(), r.dvfs_down.to_string()],
+            vec!["horizon_s".into(), format!("{:.6}", r.horizon_s)],
+            vec!["energy_j".into(), format!("{:.3}", r.energy_j)],
+            vec!["mean_power_w".into(), format!("{:.3}", r.mean_power_w)],
+            vec!["mean_response_s".into(), format!("{:.6}", r.mean_response_s)],
+            vec!["p50_s".into(), format!("{:.6}", r.p50_s)],
+            vec!["p95_s".into(), format!("{:.6}", r.p95_s)],
+            vec!["p99_s".into(), format!("{:.6}", r.p99_s)],
+            vec!["events".into(), r.events.to_string()],
+            vec!["forced_stop".into(), r.forced_stop.to_string()],
+        ];
+        print!("{}", render_csv(&rows));
+    } else {
+        println!(
+            "Online {mode}: {workload} on {} ({} nodes)\n",
+            cluster.label(),
+            cluster.node_count()
+        );
+        println!(
+            "  served {} of {} requests over {:.1} virtual s ({} events)",
+            r.completions, r.arrivals, r.horizon_s, r.events
+        );
+        println!(
+            "  latency: mean {:.4} s   p50 {:.4} s   p95 {:.4} s   p99 {:.4} s",
+            r.mean_response_s, r.p50_s, r.p95_s, r.p99_s
+        );
+        println!(
+            "  energy:  {:.0} J over the run   mean power {:.1} W",
+            r.energy_j, r.mean_power_w
+        );
+        println!(
+            "  faults:  {} crashes, {} stalls, {} stragglers -> {} timeouts, {} retries, {} reroutes, {} repairs",
+            r.crashes, r.stalls, r.stragglers, r.timeouts, r.retries, r.reroutes, r.repairs
+        );
+        println!(
+            "  control: {} activations, {} deactivations, {} dvfs up, {} dvfs down, {} shed toggles{}",
+            r.activations,
+            r.deactivations,
+            r.dvfs_up,
+            r.dvfs_down,
+            r.shed_toggles,
+            if r.forced_stop { "   [FORCED STOP]" } else { "" }
+        );
+    }
+    println!("{}", r.conservation_line());
+}

@@ -8,7 +8,8 @@ mod diag;
 mod output;
 
 use commands::{
-    characterize_cmd, explore_cmds, faults_cmd, figures, strategies, tables, ObsCtx, Opts,
+    characterize_cmd, explore_cmds, faults_cmd, figures, serve_cmd, strategies, tables, ObsCtx,
+    Opts,
 };
 use enprop_clustersim::EnpropError;
 use enprop_obs::{
@@ -43,6 +44,18 @@ Robustness commands:
   faults        Extension: fault injection with recovery  [--mtbf SECS]
                 [--stall SECS] [--slowdown X] [--retries N]
                 [--timeout-factor F] [--utilization U] [--jobs N]
+
+Serving commands (online mode, DESIGN.md \u{a7}13):
+  serve         Extension: online serving under a virtual-time controller
+                [--requests N] [--utilization U | --rate R] [--arrival
+                poisson|diurnal] [--period S] [--ops-per-request OPS]
+                [--slo-p95 S] [--power-cap W] [--mtbf S] [--stall S]
+                [--slowdown X] [--repair S] [--max-inflight N]
+                [--emit-arrivals FILE]
+  replay        Replay a JSONL arrival trace through the serving
+                controller  --trace FILE  (same options as serve)
+  chaos         Sweep randomized fault plans over serving runs, checking
+                conservation and span balance  [--plans N] [--requests N]
 
 Exploration commands:
   footnote4     Configuration-space size (paper's 36,380 example)
@@ -102,6 +115,36 @@ fn parse_flag(args: &[String], name: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+/// Parse `--flag VALUE` as a number: `Ok(None)` when the flag is absent,
+/// a typed [`EnpropError::InvalidParameter`] (exit code 2) when the value
+/// is missing or malformed — never a panic.
+fn parse_num<T: std::str::FromStr>(
+    args: &[String],
+    name: &'static str,
+) -> Result<Option<T>, EnpropError> {
+    let Some(i) = args.iter().position(|a| a == name) else {
+        return Ok(None);
+    };
+    let Some(raw) = args.get(i + 1) else {
+        return Err(EnpropError::invalid_parameter(
+            name,
+            "flag given without a value",
+        ));
+    };
+    raw.parse().map(Some).map_err(|_| {
+        EnpropError::invalid_parameter(name, format!("expected a number, got {raw:?}"))
+    })
+}
+
+/// [`parse_num`] for flags a command cannot run without.
+fn require_num<T: std::str::FromStr>(
+    args: &[String],
+    name: &'static str,
+    why: &'static str,
+) -> Result<T, EnpropError> {
+    parse_num(args, name)?.ok_or_else(|| EnpropError::invalid_parameter(name, why))
+}
+
 fn main() {
     if let Err(e) = run() {
         eprintln!("error: {e}");
@@ -131,18 +174,17 @@ fn run() -> Result<(), EnpropError> {
         csv: args.iter().any(|a| a == "--csv"),
         ..Opts::default()
     };
-    if let Some(s) = parse_flag(&args, "--samples") {
-        opts.samples = s.parse().expect("--samples takes an integer");
+    if let Some(n) = parse_num(&args, "--samples")? {
+        opts.samples = n;
     }
-    if let Some(s) = parse_flag(&args, "--seed") {
-        opts.seed = s.parse().expect("--seed takes an integer");
+    if let Some(n) = parse_num(&args, "--seed")? {
+        opts.seed = n;
     }
     opts.workload = parse_flag(&args, "--workload");
-    let a9: u32 = parse_flag(&args, "--a9").map_or(32, |s| s.parse().expect("--a9 int"));
-    let k10: u32 = parse_flag(&args, "--k10").map_or(12, |s| s.parse().expect("--k10 int"));
-    let scale: f64 = parse_flag(&args, "--scale").map_or(0.2, |s| s.parse().expect("--scale f64"));
-    if let Some(s) = parse_flag(&args, "--threads") {
-        let n: usize = s.parse().expect("--threads takes an integer");
+    let a9: u32 = parse_num(&args, "--a9")?.unwrap_or(32);
+    let k10: u32 = parse_num(&args, "--k10")?.unwrap_or(12);
+    let scale: f64 = parse_num(&args, "--scale")?.unwrap_or(0.2);
+    if let Some(n) = parse_num::<usize>(&args, "--threads")? {
         enprop_explore::set_eval_threads(n);
     }
     diag::info(format!(
@@ -188,56 +230,91 @@ fn run() -> Result<(), EnpropError> {
         "ablation" => figures::ablation_cmd(&opts),
         "pareto" => explore_cmds::pareto_cmd(&opts, a9, k10, &mut ctx),
         "search" => {
-            let deadline: f64 = parse_flag(&args, "--deadline").map_or_else(
-                || {
-                    diag::error("search requires --deadline SECS");
-                    std::process::exit(2);
-                },
-                |s| s.parse().expect("--deadline f64"),
-            );
+            let deadline: f64 = require_num(&args, "--deadline", "search requires --deadline SECS")?;
             explore_cmds::search_cmd(&opts, a9, k10, deadline);
         }
         "strategies" => strategies::strategies_cmd(&opts),
         "export" => explore_cmds::export_cmd(&opts, a9, k10, &mut ctx),
         "trace" => {
-            let u: f64 = parse_flag(&args, "--utilization")
-                .map_or(0.6, |s| s.parse().expect("--utilization f64"));
+            let u: f64 = parse_num(&args, "--utilization")?.unwrap_or(0.6);
             explore_cmds::trace_cmd(&opts, u, &mut ctx);
         }
         "sweet" => {
-            let deadline: f64 = parse_flag(&args, "--deadline")
-                .map_or_else(
-                    || {
-                        diag::error("sweet requires --deadline SECS");
-                        std::process::exit(2);
-                    },
-                    |s| s.parse().expect("--deadline f64"),
-                );
+            let deadline: f64 = require_num(&args, "--deadline", "sweet requires --deadline SECS")?;
             explore_cmds::sweet_cmd(&opts, a9, k10, deadline, &mut ctx);
         }
         "kernels" => characterize_cmd::kernels_cmd(&opts, scale),
         "power" => characterize_cmd::power_cmd(&opts),
         "faults" => {
             let mut fo = faults_cmd::FaultOpts {
-                mtbf_s: parse_flag(&args, "--mtbf").map(|s| s.parse().expect("--mtbf f64")),
-                stall_s: parse_flag(&args, "--stall").map(|s| s.parse().expect("--stall f64")),
-                slowdown: parse_flag(&args, "--slowdown")
-                    .map(|s| s.parse().expect("--slowdown f64")),
+                mtbf_s: parse_num(&args, "--mtbf")?,
+                stall_s: parse_num(&args, "--stall")?,
+                slowdown: parse_num(&args, "--slowdown")?,
                 ..faults_cmd::FaultOpts::default()
             };
-            if let Some(s) = parse_flag(&args, "--retries") {
-                fo.retries = s.parse().expect("--retries int");
+            if let Some(n) = parse_num(&args, "--retries")? {
+                fo.retries = n;
             }
-            if let Some(s) = parse_flag(&args, "--timeout-factor") {
-                fo.timeout_factor = s.parse().expect("--timeout-factor f64");
+            if let Some(f) = parse_num(&args, "--timeout-factor")? {
+                fo.timeout_factor = f;
             }
-            if let Some(s) = parse_flag(&args, "--utilization") {
-                fo.utilization = s.parse().expect("--utilization f64");
+            if let Some(u) = parse_num(&args, "--utilization")? {
+                fo.utilization = u;
             }
-            if let Some(s) = parse_flag(&args, "--jobs") {
-                fo.jobs = s.parse().expect("--jobs int");
+            if let Some(n) = parse_num(&args, "--jobs")? {
+                fo.jobs = n;
             }
             faults_cmd::faults_cmd(&opts, &fo, a9, k10, &mut ctx)?;
+        }
+        "serve" | "replay" | "chaos" => {
+            let mut so = serve_cmd::ServeOpts {
+                rate: parse_num(&args, "--rate")?,
+                ops_per_request: parse_num(&args, "--ops-per-request")?,
+                power_cap_w: parse_num(&args, "--power-cap")?,
+                mtbf_s: parse_num(&args, "--mtbf")?,
+                stall_s: parse_num(&args, "--stall")?,
+                slowdown: parse_num(&args, "--slowdown")?,
+                emit_arrivals: parse_flag(&args, "--emit-arrivals").map(PathBuf::from),
+                ..serve_cmd::ServeOpts::default()
+            };
+            if let Some(n) = parse_num(&args, "--requests")? {
+                so.requests = n;
+            }
+            if let Some(u) = parse_num(&args, "--utilization")? {
+                so.utilization = u;
+            }
+            if let Some(a) = parse_flag(&args, "--arrival") {
+                so.arrival = a;
+            }
+            if let Some(p) = parse_num(&args, "--period")? {
+                so.period_s = p;
+            }
+            if let Some(s) = parse_num(&args, "--slo-p95")? {
+                so.slo_p95_s = s;
+            }
+            if let Some(r) = parse_num(&args, "--repair")? {
+                so.repair_s = r;
+            }
+            if let Some(m) = parse_num(&args, "--max-inflight")? {
+                so.max_inflight = m;
+            }
+            if let Some(p) = parse_num(&args, "--plans")? {
+                so.plans = p;
+            }
+            // Serving defaults to a small always-on cluster, not the
+            // exploration bound of 32+12 nodes.
+            let a9_serve: u32 = parse_num(&args, "--a9")?.unwrap_or(6);
+            let k10_serve: u32 = parse_num(&args, "--k10")?.unwrap_or(2);
+            match cmd.as_str() {
+                "serve" => serve_cmd::serve_cmd(&opts, &so, a9_serve, k10_serve, &mut ctx)?,
+                "replay" => {
+                    let trace = parse_flag(&args, "--trace").map(PathBuf::from).ok_or_else(
+                        || EnpropError::invalid_parameter("--trace", "replay requires --trace FILE"),
+                    )?;
+                    serve_cmd::replay_cmd(&opts, &so, &trace, a9_serve, k10_serve, &mut ctx)?;
+                }
+                _ => serve_cmd::chaos_cmd(&opts, &so, a9_serve, k10_serve)?,
+            }
         }
         "all" => {
             tables::table4_cmd(&opts, &mut ctx);

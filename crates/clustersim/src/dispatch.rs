@@ -328,6 +328,7 @@ mod tests {
             timeout_factor: 10.0,
             backoff_base_s: 1.0,
             backoff_multiplier: 2.0,
+            backoff_cap_s: f64::INFINITY,
         };
         let faulted = ClusterQueueSim::with_faults(&sim, 8, 7, &plan, &policy).unwrap();
         assert!(

@@ -1076,6 +1076,7 @@ mod fault_plan_tests {
             timeout_factor: 3.0,
             backoff_base_s: 5.0,
             backoff_multiplier: 2.0,
+            backoff_cap_s: f64::INFINITY,
         };
         let err = sim.run_job_under_plan(&plan, &policy, 3).unwrap_err();
         assert!(matches!(err, EnpropError::RetryBudgetExhausted { attempts: 2, .. }));
@@ -1097,6 +1098,7 @@ mod fault_plan_tests {
             timeout_factor: 2.0,
             backoff_base_s: 2.0,
             backoff_multiplier: 2.0,
+            backoff_cap_s: f64::INFINITY,
         };
         if let Ok(f) = sim.run_job_under_plan(&flaky, &policy, 3) {
             if f.attempts > 1 {

@@ -45,6 +45,14 @@ pub enum EnpropError {
         /// Why it was rejected.
         message: String,
     },
+    /// A long-running simulation processed more discrete events than its
+    /// livelock guard allows — a scheduling bug, not a big run.
+    EventBudgetExceeded {
+        /// Events processed when the guard tripped.
+        events: u64,
+        /// Virtual time reached, seconds.
+        at_s: f64,
+    },
 }
 
 impl EnpropError {
@@ -69,7 +77,9 @@ impl EnpropError {
         match self {
             EnpropError::InvalidConfig(_) | EnpropError::InvalidParameter { .. } => 2,
             EnpropError::MissingProfile { .. } | EnpropError::EmptyCluster { .. } => 3,
-            EnpropError::ClusterDead { .. } | EnpropError::RetryBudgetExhausted { .. } => 4,
+            EnpropError::ClusterDead { .. }
+            | EnpropError::RetryBudgetExhausted { .. }
+            | EnpropError::EventBudgetExceeded { .. } => 4,
         }
     }
 }
@@ -95,6 +105,10 @@ impl fmt::Display for EnpropError {
             EnpropError::InvalidParameter { what, message } => {
                 write!(f, "invalid {what}: {message}")
             }
+            EnpropError::EventBudgetExceeded { events, at_s } => write!(
+                f,
+                "livelock guard tripped: {events} events processed by t = {at_s} s"
+            ),
         }
     }
 }

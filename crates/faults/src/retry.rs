@@ -20,16 +20,23 @@ pub struct RetryPolicy {
     pub backoff_base_s: f64,
     /// Multiplier applied to the backoff for each further retry (≥ 1).
     pub backoff_multiplier: f64,
+    /// Upper bound on any single backoff, seconds. The exponential curve
+    /// saturates here instead of growing without bound — a serving
+    /// controller must never park a request for longer than its SLO scale.
+    /// Use `f64::INFINITY` for the classic uncapped curve.
+    pub backoff_cap_s: f64,
 }
 
 impl RetryPolicy {
-    /// The dispatcher default: 3 retries, 3× timeout, 1 s → 2× backoff.
+    /// The dispatcher default: 3 retries, 3× timeout, 1 s → 2× backoff,
+    /// capped at 60 s.
     pub fn standard() -> Self {
         RetryPolicy {
             max_retries: 3,
             timeout_factor: 3.0,
             backoff_base_s: 1.0,
             backoff_multiplier: 2.0,
+            backoff_cap_s: 60.0,
         }
     }
 
@@ -41,6 +48,7 @@ impl RetryPolicy {
             timeout_factor: f64::INFINITY,
             backoff_base_s: 0.0,
             backoff_multiplier: 1.0,
+            backoff_cap_s: f64::INFINITY,
         }
     }
 
@@ -64,12 +72,20 @@ impl RetryPolicy {
                 format!("must be finite and ≥ 1, got {}", self.backoff_multiplier),
             ));
         }
+        if self.backoff_cap_s.is_nan() || self.backoff_cap_s < 0.0 {
+            return Err(EnpropError::invalid_parameter(
+                "backoff_cap_s",
+                format!("must be ≥ 0 (∞ allowed), got {}", self.backoff_cap_s),
+            ));
+        }
         Ok(())
     }
 
-    /// Backoff before retry number `retry` (0-based), seconds.
+    /// Backoff before retry number `retry` (0-based), seconds: the
+    /// exponential curve `base × mult^retry`, saturated at
+    /// [`RetryPolicy::backoff_cap_s`].
     pub fn backoff_s(&self, retry: u32) -> f64 {
-        self.backoff_base_s * self.backoff_multiplier.powi(retry as i32)
+        (self.backoff_base_s * self.backoff_multiplier.powi(retry as i32)).min(self.backoff_cap_s)
     }
 
     /// Total attempts this policy allows.
@@ -95,6 +111,26 @@ mod tests {
         assert_eq!(p.backoff_s(1), 2.0);
         assert_eq!(p.backoff_s(2), 4.0);
         assert_eq!(p.max_attempts(), 4);
+    }
+
+    #[test]
+    fn backoff_saturates_at_the_cap() {
+        let mut p = RetryPolicy::standard();
+        p.backoff_cap_s = 5.0;
+        assert_eq!(p.backoff_s(2), 4.0);
+        assert_eq!(p.backoff_s(3), 5.0);
+        assert_eq!(p.backoff_s(30), 5.0);
+    }
+
+    #[test]
+    fn validation_rejects_negative_or_nan_cap() {
+        let mut p = RetryPolicy::standard();
+        p.backoff_cap_s = -1.0;
+        assert!(p.validate().is_err());
+        p.backoff_cap_s = f64::NAN;
+        assert!(p.validate().is_err());
+        p.backoff_cap_s = f64::INFINITY;
+        assert!(p.validate().is_ok());
     }
 
     #[test]

@@ -1,0 +1,95 @@
+#![allow(clippy::unwrap_used)] // test code: panicking on malformed fixtures is the desired failure mode
+
+//! Property-based tests for [`RetryPolicy::backoff_s`]: the backoff curve
+//! must be monotone non-decreasing in the retry index, bounded by the
+//! configured cap, and a pure function of the policy (no hidden state).
+
+use enprop_faults::RetryPolicy;
+use proptest::prelude::*;
+
+/// A valid policy: positive base, multiplier ≥ 1 (so monotonicity is a
+/// property of the formula, not an accident of the inputs), finite cap at
+/// least the base or uncapped.
+fn policy() -> impl Strategy<Value = RetryPolicy> {
+    (
+        0.001f64..10.0,  // backoff_base_s
+        1.0f64..4.0,     // backoff_multiplier
+        0.0f64..1.0,     // cap selector: ~1 in 4 policies is uncapped
+        0.001f64..600.0, // finite cap value (when capped)
+        1.5f64..8.0,     // timeout_factor
+        0u32..12,        // max_retries
+    )
+        .prop_map(
+            |(base, mult, sel, cap, timeout_factor, max_retries)| RetryPolicy {
+                timeout_factor,
+                max_retries,
+                backoff_base_s: base,
+                backoff_multiplier: mult,
+                backoff_cap_s: if sel < 0.25 { f64::INFINITY } else { cap },
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// With multiplier ≥ 1, each retry waits at least as long as the one
+    /// before — capped or not, the curve never dips.
+    #[test]
+    fn backoff_is_monotone_non_decreasing(p in policy(), upto in 1u32..40) {
+        for retry in 1..upto {
+            let prev = p.backoff_s(retry - 1);
+            let cur = p.backoff_s(retry);
+            prop_assert!(
+                cur >= prev,
+                "backoff dipped at retry {retry}: {prev} -> {cur} ({p:?})"
+            );
+        }
+    }
+
+    /// No retry ever waits longer than the configured cap, and every
+    /// backoff is a finite-or-capped, non-negative number.
+    #[test]
+    fn backoff_is_bounded_by_the_cap(p in policy(), retry in 0u32..64) {
+        let b = p.backoff_s(retry);
+        prop_assert!(b >= 0.0, "negative backoff {b}");
+        prop_assert!(
+            b <= p.backoff_cap_s,
+            "backoff {b} exceeds cap {} at retry {retry}",
+            p.backoff_cap_s
+        );
+        if p.backoff_cap_s.is_finite() {
+            prop_assert!(b.is_finite());
+        }
+    }
+
+    /// The curve is a pure function of the policy: identical policies give
+    /// bit-identical backoffs, call after call.
+    #[test]
+    fn backoff_is_deterministic(p in policy(), retry in 0u32..64) {
+        let twin = p; // RetryPolicy is Copy: an independent identical value
+        let a = p.backoff_s(retry);
+        let b = p.backoff_s(retry); // repeated call, same instance
+        let c = twin.backoff_s(retry); // identical construction
+        prop_assert!(a.to_bits() == b.to_bits() && b.to_bits() == c.to_bits());
+    }
+
+    /// Once the uncapped curve crosses the cap it stays pinned there
+    /// exactly (saturation, not clamping artifacts).
+    #[test]
+    fn saturation_is_exact(p in policy(), retry in 0u32..64) {
+        if p.backoff_cap_s.is_finite() && p.backoff_s(retry) >= p.backoff_cap_s {
+            // Every later retry sits exactly at the cap.
+            for later in retry + 1..retry + 8 {
+                prop_assert_eq!(p.backoff_s(later), p.backoff_cap_s);
+            }
+        }
+    }
+
+    /// Generated policies are self-consistently valid (guards the strategy
+    /// against drifting out of the policy's own domain).
+    #[test]
+    fn generated_policies_validate(p in policy()) {
+        prop_assert!(p.validate().is_ok(), "strategy produced invalid policy {p:?}");
+    }
+}

@@ -27,7 +27,7 @@ pub enum Scope {
 
 /// Crates whose state drives discrete-event simulation: any
 /// nondeterminism here breaks golden-trace replay.
-pub const SIM_CRATES: &[&str] = &["nodesim", "clustersim", "queueing", "faults", "obs"];
+pub const SIM_CRATES: &[&str] = &["nodesim", "clustersim", "queueing", "faults", "obs", "serve"];
 
 /// Crates holding the paper's numeric models: silent precision loss here
 /// corrupts the Table 4 error claim.

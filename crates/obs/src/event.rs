@@ -15,6 +15,9 @@ pub enum Track {
     /// seconds: evaluation is model arithmetic, not a simulated timeline,
     /// and index time keeps the trace bit-identical for any thread count.
     Explore,
+    /// The online serving controller: reconfiguration decisions, SLO /
+    /// power-cap gauges and shed-mode spans (DESIGN.md §13).
+    Controller,
     /// One simulated node, addressed by group and index within the group.
     Node {
         /// Node-group index in the cluster spec.
@@ -32,6 +35,7 @@ impl Track {
             Track::Dispatcher => 2,
             Track::Queue => 3,
             Track::Explore => 4,
+            Track::Controller => 5,
             Track::Node { group, node } => 16 + u64::from(group) * 1024 + u64::from(node),
         }
     }
@@ -43,6 +47,7 @@ impl Track {
             Track::Dispatcher => "dispatcher".into(),
             Track::Queue => "queue".into(),
             Track::Explore => "explore".into(),
+            Track::Controller => "controller".into(),
             Track::Node { group, node } => format!("node g{group}.n{node}"),
         }
     }
@@ -130,6 +135,7 @@ mod tests {
             Track::Dispatcher,
             Track::Queue,
             Track::Explore,
+            Track::Controller,
             Track::Node { group: 0, node: 0 },
             Track::Node { group: 0, node: 1 },
             Track::Node { group: 1, node: 0 },

@@ -1,0 +1,158 @@
+//! Serving-controller configuration: SLO, power cap, cadences and safety
+//! valves, all in one validated value.
+
+use enprop_faults::{EnpropError, RetryPolicy};
+
+/// Everything the [`crate::Controller`] needs besides the workload,
+/// cluster, fault plan and arrival stream.
+///
+/// All times are virtual seconds. [`ServeConfig::validate`] is called by
+/// the controller before the first event fires; an invalid config is a
+/// usage error (exit code 2), never a panic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Seed for every controller-side random stream (dispatch tie-breaks
+    /// are deterministic and draw nothing; this keys the fault plan's
+    /// per-window sampling).
+    pub seed: u64,
+    /// Timeout / retry / backoff policy for individual dispatches.
+    pub retry: RetryPolicy,
+    /// The p95 response-time objective, seconds. Breaching it triggers
+    /// scale-up, then load shedding.
+    pub slo_p95_s: f64,
+    /// Cluster power budget, watts (`f64::INFINITY` = uncapped). Breaching
+    /// it triggers DVFS brownout, then node deactivation.
+    pub power_cap_w: f64,
+    /// Control-loop cadence, seconds: p95 / power are evaluated and at most
+    /// one reconfiguration decision is taken per tick.
+    pub tick_s: f64,
+    /// Health-check cadence, seconds: how often silent crashes are swept
+    /// for (timeouts usually find them first).
+    pub health_interval_s: f64,
+    /// Repair time for a detected-down node, seconds (fail-stop crash →
+    /// detected → repaired → re-admitted).
+    pub repair_s: f64,
+    /// How long an injected straggler keeps a node slowed, seconds (the
+    /// batch simulator slows the *remainder of an attempt*; a long-running
+    /// server needs a recovery horizon instead).
+    pub straggler_duration_s: f64,
+    /// Fault-sampling window, seconds: the plan's per-node event streams
+    /// are materialized one window at a time for as long as serving runs.
+    pub fault_window_s: f64,
+    /// Admission-control bound on requests in flight (queued + executing).
+    /// Arrivals beyond it are shed.
+    pub max_inflight: usize,
+    /// The controller never deactivates below this many admitted nodes.
+    pub min_active_nodes: usize,
+    /// After the last arrival, how long the controller waits for in-flight
+    /// work before force-stopping, seconds.
+    pub drain_timeout_s: f64,
+    /// Livelock guard: hard ceiling on processed events (`0` = derive from
+    /// the arrival count).
+    pub max_events: u64,
+    /// Ticks to hold off further scale-*down* decisions after any
+    /// reconfiguration (hysteresis; scale-ups are never delayed).
+    pub scale_cooldown_ticks: u32,
+    /// At most this many request spans are exported (the obs layer's
+    /// bounded-trace convention); accounting covers every request
+    /// regardless.
+    pub traced_requests: u64,
+}
+
+impl ServeConfig {
+    /// Serving defaults: 250 ms p95 SLO, uncapped power, 1 s control tick.
+    pub fn new(seed: u64) -> Self {
+        ServeConfig {
+            seed,
+            retry: RetryPolicy::standard(),
+            slo_p95_s: 0.25,
+            power_cap_w: f64::INFINITY,
+            tick_s: 1.0,
+            health_interval_s: 0.5,
+            repair_s: 30.0,
+            straggler_duration_s: 20.0,
+            fault_window_s: 60.0,
+            max_inflight: 10_000,
+            min_active_nodes: 1,
+            drain_timeout_s: 120.0,
+            max_events: 0,
+            scale_cooldown_ticks: 5,
+            traced_requests: 512,
+        }
+    }
+
+    /// Validate every field (and the embedded retry policy).
+    pub fn validate(&self) -> Result<(), EnpropError> {
+        self.retry.validate()?;
+        for (what, v) in [
+            ("slo_p95_s", self.slo_p95_s),
+            ("tick_s", self.tick_s),
+            ("health_interval_s", self.health_interval_s),
+            ("repair_s", self.repair_s),
+            ("straggler_duration_s", self.straggler_duration_s),
+            ("fault_window_s", self.fault_window_s),
+            ("drain_timeout_s", self.drain_timeout_s),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(EnpropError::invalid_parameter(
+                    what,
+                    format!("must be finite and > 0, got {v}"),
+                ));
+            }
+        }
+        if self.power_cap_w.is_nan() || self.power_cap_w <= 0.0 {
+            return Err(EnpropError::invalid_parameter(
+                "power_cap_w",
+                format!("must be > 0 (∞ = uncapped), got {}", self.power_cap_w),
+            ));
+        }
+        if self.max_inflight == 0 {
+            return Err(EnpropError::invalid_parameter(
+                "max_inflight",
+                "must be ≥ 1 (0 would shed every arrival)",
+            ));
+        }
+        if self.min_active_nodes == 0 {
+            return Err(EnpropError::invalid_parameter(
+                "min_active_nodes",
+                "must be ≥ 1 (the controller may never power off everything)",
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(ServeConfig::new(7).validate().is_ok());
+    }
+
+    #[test]
+    fn bad_fields_are_rejected() {
+        let mut c = ServeConfig::new(1);
+        c.slo_p95_s = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = ServeConfig::new(1);
+        c.power_cap_w = -5.0;
+        assert!(c.validate().is_err());
+        c.power_cap_w = f64::INFINITY;
+        assert!(c.validate().is_ok());
+
+        let mut c = ServeConfig::new(1);
+        c.max_inflight = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = ServeConfig::new(1);
+        c.min_active_nodes = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = ServeConfig::new(1);
+        c.retry.timeout_factor = 0.5;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,1473 @@
+//! The serving controller: a continuously running discrete-event loop that
+//! dispatches arrivals across heterogeneous node groups and survives
+//! mid-flight faults.
+//!
+//! # Event model
+//!
+//! One binary heap of `(virtual time, sequence)`-ordered events drives
+//! everything: arrivals (pulled lazily from the [`ArrivalSource`]),
+//! per-node completions (epoch-guarded so superseded schedules cancel
+//! lazily), per-dispatch timeouts (dispatch-generation-guarded), retry
+//! redispatches, fault injections (sampled one
+//! [`ServeConfig::fault_window_s`] window at a time from the
+//! [`FaultPlan`]), stall/straggler recoveries, node repairs, periodic
+//! health sweeps and the control tick.
+//!
+//! # Robustness invariants
+//!
+//! - **Conservation**: every arrival ends exactly one way — completed,
+//!   shed (admission or retry exhaustion), or in flight at a forced stop.
+//! - **No deadlock**: pending work is re-flushed on every completion,
+//!   repair, activation and control tick; a drain deadline bounds the
+//!   post-arrival tail; an event-budget guard turns any scheduling bug
+//!   into [`EnpropError::EventBudgetExceeded`] instead of a hang.
+//! - **Determinism**: dispatch tie-breaks are by node index, all
+//!   randomness is keyed ([`FaultPlan`] windows, arrival streams), and
+//!   event ordering uses `total_cmp` plus a sequence number — the same
+//!   inputs replay bit-identically on any host.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+use enprop_clustersim::ClusterSpec;
+use enprop_faults::{EnpropError, FaultKind, FaultPlan};
+use enprop_obs::{Recorder, Track};
+use enprop_queueing::exact_quantile;
+use enprop_workloads::{SingleNodeModel, Workload};
+
+use crate::arrivals::ArrivalSource;
+use crate::config::ServeConfig;
+use crate::report::ServeReport;
+
+/// Controller-visible node admission state (the reconfiguration state
+/// machine of DESIGN.md §13; the *actual* crash/stall/straggler overlay is
+/// tracked separately and only becomes visible through timeouts and health
+/// checks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Admin {
+    /// Accepting dispatches.
+    Active,
+    /// Finishing its backlog, accepting nothing new; parks when empty.
+    Draining,
+    /// Powered off by the controller (0 W).
+    Deactivated,
+    /// Detected dead; queue re-routed, repair scheduled.
+    Down,
+}
+
+/// Where a request currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Loc {
+    /// Waiting at the dispatcher (no eligible node yet).
+    Pending,
+    /// Waiting out a retry backoff.
+    Backoff,
+    /// Queued or executing on a node.
+    OnNode(usize),
+}
+
+#[derive(Debug, Clone)]
+struct Req {
+    arrived: f64,
+    ops: f64,
+    /// Budget-consuming retries so far.
+    attempt: u32,
+    /// Placement generation: bumped on every (re-)placement so stale
+    /// timeout events cancel lazily.
+    dispatch: u32,
+    loc: Loc,
+    /// Node to avoid on the next dispatch (the one that just timed out).
+    exclude: Option<usize>,
+    traced: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Running {
+    req: u64,
+    remaining_ops: f64,
+}
+
+#[derive(Debug)]
+struct Node {
+    group: usize,
+    in_group: u16,
+    admin: Admin,
+    /// Fail-stop crash not yet detected/repaired.
+    crashed: bool,
+    stalled_until: f64,
+    slowdown: f64,
+    slow_until: f64,
+    queue: VecDeque<u64>,
+    queued_ops: f64,
+    current: Option<Running>,
+    /// Completion-schedule epoch (lazy cancellation).
+    epoch: u64,
+    /// Accounting frontier: energy/progress integrated up to here.
+    acct_t: f64,
+    energy_j: f64,
+    /// An un-closed `node.down` span is open on this node's track.
+    down_span_open: bool,
+}
+
+/// Per-group rate/power tables at every DVFS level, plus the group's
+/// current level (DVFS decisions step whole groups, matching the paper's
+/// per-type operating tuples).
+#[derive(Debug)]
+struct GroupModel {
+    rate_at: Vec<f64>,
+    busy_w_at: Vec<f64>,
+    idle_w: f64,
+    freq_idx: usize,
+}
+
+#[derive(Debug, Clone)]
+enum EvKind {
+    Arrival { ops: f64 },
+    Completion { node: usize, epoch: u64 },
+    Timeout { req: u64, dispatch: u32 },
+    Redispatch { req: u64 },
+    Fault { node: usize, kind: FaultKind },
+    FaultWindow { node: usize, window: u32 },
+    StallEnd { node: usize },
+    StragglerEnd { node: usize },
+    Repair { node: usize },
+    HealthCheck,
+    ControlTick,
+    DrainDeadline,
+}
+
+#[derive(Debug, Clone)]
+struct Ev {
+    t: f64,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.t.total_cmp(&other.t).then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+/// Fraction of the SLO below which the controller considers scaling down,
+/// and the headroom margin capacity must keep over measured demand.
+const SCALE_DOWN_P95_FRACTION: f64 = 0.3;
+const CAPACITY_MARGIN: f64 = 1.3;
+/// Shed mode exits when the window p95 recovers below this SLO fraction.
+const SHED_EXIT_P95_FRACTION: f64 = 0.8;
+
+/// The online serving controller. Construct-and-run via
+/// [`Controller::run`]; all state is internal to one run.
+#[derive(Debug)]
+pub struct Controller<'a> {
+    cfg: &'a ServeConfig,
+    plan: &'a FaultPlan,
+    groups: Vec<GroupModel>,
+    nodes: Vec<Node>,
+
+    heap: BinaryHeap<Reverse<Ev>>,
+    seq: u64,
+    now: f64,
+    events: u64,
+
+    inflight: BTreeMap<u64, Req>,
+    pending: VecDeque<u64>,
+    next_req_id: u64,
+    arrivals_done: bool,
+    drain_armed: bool,
+
+    shed_mode: bool,
+    shed_entries: u64,
+    cooldown: u32,
+
+    // Per-tick measurement window.
+    window_resp: Vec<f64>,
+    window_arrival_ops: f64,
+
+    // Run-level accounting.
+    all_resp: Vec<f64>,
+    resp_sum: f64,
+    arrivals: u64,
+    completions: u64,
+    shed_admission: u64,
+    shed_retry: u64,
+    timeouts: u64,
+    retries: u64,
+    reroutes: u64,
+    crashes: u64,
+    stalls: u64,
+    stragglers: u64,
+    repairs: u64,
+    activations: u64,
+    deactivations: u64,
+    dvfs_up: u64,
+    dvfs_down: u64,
+    shed_toggles: u64,
+}
+
+impl<'a> Controller<'a> {
+    /// Serve `source` to exhaustion on `cluster` under `plan`, exporting
+    /// telemetry to `rec`. Returns the run's [`ServeReport`];
+    /// deterministic in `(workload, cluster, plan, cfg, source)`.
+    pub fn run<R: Recorder>(
+        workload: &Workload,
+        cluster: &ClusterSpec,
+        plan: &'a FaultPlan,
+        cfg: &'a ServeConfig,
+        source: &mut ArrivalSource,
+        rec: &mut R,
+    ) -> Result<ServeReport, EnpropError> {
+        cfg.validate()?;
+        plan.validate()?;
+        let mut c = Controller::new(workload, cluster, plan, cfg)?;
+        c.bootstrap(source, rec);
+        c.event_loop(source, rec)
+    }
+
+    fn new(
+        workload: &Workload,
+        cluster: &ClusterSpec,
+        plan: &'a FaultPlan,
+        cfg: &'a ServeConfig,
+    ) -> Result<Self, EnpropError> {
+        let mut groups = Vec::with_capacity(cluster.groups.len());
+        let mut nodes = Vec::new();
+        for (gi, g) in cluster.groups.iter().enumerate() {
+            let profile = workload.try_profile(g.spec.name)?;
+            let model = SingleNodeModel::new(&profile.spec, &profile.demand, workload.io_rate);
+            let mut rate_at = Vec::with_capacity(g.spec.frequencies.len());
+            let mut busy_w_at = Vec::with_capacity(g.spec.frequencies.len());
+            for &f in &g.spec.frequencies {
+                let r = model.throughput(g.cores, f);
+                if !r.is_finite() || r <= 0.0 {
+                    return Err(EnpropError::invalid_config(format!(
+                        "workload {} has unusable throughput {r} on {} at {f} Hz",
+                        workload.name, g.spec.name
+                    )));
+                }
+                rate_at.push(r);
+                busy_w_at.push(model.busy_power(g.cores, f));
+            }
+            // The spec'd operating frequency selects the starting DVFS level.
+            let freq_idx = g
+                .spec
+                .frequencies
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    (*a - g.freq).abs().total_cmp(&(*b - g.freq).abs())
+                })
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            if u16::try_from(gi).is_err() {
+                return Err(EnpropError::invalid_config(
+                    "more than 65535 node groups".to_string(),
+                ));
+            }
+            for ni in 0..g.count {
+                let in_group = u16::try_from(ni).map_err(|_| {
+                    EnpropError::invalid_config("more than 65535 nodes in a group".to_string())
+                })?;
+                nodes.push(Node {
+                    group: gi,
+                    in_group,
+                    admin: Admin::Active,
+                    crashed: false,
+                    stalled_until: f64::NEG_INFINITY,
+                    slowdown: 1.0,
+                    slow_until: f64::NEG_INFINITY,
+                    queue: VecDeque::new(),
+                    queued_ops: 0.0,
+                    current: None,
+                    epoch: 0,
+                    acct_t: 0.0,
+                    energy_j: 0.0,
+                    down_span_open: false,
+                });
+            }
+            groups.push(GroupModel {
+                rate_at,
+                busy_w_at,
+                idle_w: g.spec.power.sys_idle_w,
+                freq_idx,
+            });
+        }
+        if nodes.is_empty() {
+            return Err(EnpropError::EmptyCluster {
+                workload: workload.name.to_string(),
+            });
+        }
+        Ok(Controller {
+            cfg,
+            plan,
+            groups,
+            nodes,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0.0,
+            events: 0,
+            inflight: BTreeMap::new(),
+            pending: VecDeque::new(),
+            next_req_id: 0,
+            arrivals_done: false,
+            drain_armed: false,
+            shed_mode: false,
+            shed_entries: 0,
+            cooldown: 0,
+            window_resp: Vec::new(),
+            window_arrival_ops: 0.0,
+            all_resp: Vec::new(),
+            resp_sum: 0.0,
+            arrivals: 0,
+            completions: 0,
+            shed_admission: 0,
+            shed_retry: 0,
+            timeouts: 0,
+            retries: 0,
+            reroutes: 0,
+            crashes: 0,
+            stalls: 0,
+            stragglers: 0,
+            repairs: 0,
+            activations: 0,
+            deactivations: 0,
+            dvfs_up: 0,
+            dvfs_down: 0,
+            shed_toggles: 0,
+        })
+    }
+
+    fn push(&mut self, t: f64, kind: EvKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Ev { t, seq, kind }));
+    }
+
+    fn node_track(&self, i: usize) -> Track {
+        let n = &self.nodes[i];
+        Track::Node {
+            group: u16::try_from(n.group).unwrap_or(u16::MAX),
+            node: n.in_group,
+        }
+    }
+
+    /// Pull the next arrival from the source and schedule it; arms the
+    /// drain deadline once the stream is exhausted.
+    fn schedule_next_arrival(&mut self, source: &mut ArrivalSource) {
+        match source.next_arrival() {
+            Some(a) => {
+                let t = if a.t_s > self.now { a.t_s } else { self.now };
+                self.push(t, EvKind::Arrival { ops: a.ops });
+            }
+            None => {
+                self.arrivals_done = true;
+                if !self.drain_armed {
+                    self.drain_armed = true;
+                    self.push(self.now + self.cfg.drain_timeout_s, EvKind::DrainDeadline);
+                }
+            }
+        }
+    }
+
+    fn bootstrap<R: Recorder>(&mut self, source: &mut ArrivalSource, rec: &mut R) {
+        rec.span_begin(0.0, Track::Controller, "serve.run", self.cfg.seed);
+        self.schedule_next_arrival(source);
+        self.push(self.cfg.tick_s, EvKind::ControlTick);
+        self.push(self.cfg.health_interval_s, EvKind::HealthCheck);
+        for i in 0..self.nodes.len() {
+            self.push(0.0, EvKind::FaultWindow { node: i, window: 0 });
+        }
+    }
+
+    /// Livelock guard: generous, scales with work actually admitted so a
+    /// 10^6-request replay is fine while a same-instant event loop trips.
+    fn event_budget(&self) -> u64 {
+        if self.cfg.max_events > 0 {
+            return self.cfg.max_events;
+        }
+        let cadence = self.cfg.tick_s.min(self.cfg.health_interval_s);
+        let recurring = (self.now / cadence) as u64 + 1;
+        let windows = (self.now / self.cfg.fault_window_s) as u64 + 1;
+        let per_node = (self.nodes.len() as u64) * windows * 80;
+        100_000 + 300 * self.arrivals + 8 * recurring + per_node
+    }
+
+    fn done(&self) -> bool {
+        self.arrivals_done && self.inflight.is_empty()
+    }
+
+    fn event_loop<R: Recorder>(
+        &mut self,
+        source: &mut ArrivalSource,
+        rec: &mut R,
+    ) -> Result<ServeReport, EnpropError> {
+        let mut forced = false;
+        while !self.done() {
+            let Some(Reverse(ev)) = self.heap.pop() else {
+                // Unreachable by construction (recurring ticks always
+                // exist while work is outstanding); treated as a forced
+                // stop rather than a panic.
+                forced = true;
+                break;
+            };
+            debug_assert!(ev.t >= self.now, "time went backwards");
+            self.now = ev.t;
+            self.events += 1;
+            if self.events > self.event_budget() {
+                return Err(EnpropError::EventBudgetExceeded {
+                    events: self.events,
+                    at_s: self.now,
+                });
+            }
+            match ev.kind {
+                EvKind::Arrival { ops } => self.on_arrival(ops, source, rec),
+                EvKind::Completion { node, epoch } => self.on_completion(node, epoch, rec),
+                EvKind::Timeout { req, dispatch } => self.on_timeout(req, dispatch, rec),
+                EvKind::Redispatch { req } => self.on_redispatch(req, rec),
+                EvKind::Fault { node, kind } => self.on_fault(node, kind, rec),
+                EvKind::FaultWindow { node, window } => self.on_fault_window(node, window),
+                EvKind::StallEnd { node } => self.on_stall_end(node),
+                EvKind::StragglerEnd { node } => self.on_straggler_end(node),
+                EvKind::Repair { node } => self.on_repair(node, rec),
+                EvKind::HealthCheck => self.on_health_check(rec),
+                EvKind::ControlTick => self.on_control_tick(rec),
+                EvKind::DrainDeadline => {
+                    if !self.done() {
+                        forced = true;
+                    }
+                    break;
+                }
+            }
+        }
+        Ok(self.finish(forced, rec))
+    }
+
+    // ---- node accounting -------------------------------------------------
+
+    /// Integrate energy and work progress for node `i` up to `self.now`.
+    /// Every state mutation calls this first, so each integration interval
+    /// has constant state.
+    fn advance(&mut self, i: usize) {
+        let now = self.now;
+        let n = &mut self.nodes[i];
+        let dt = now - n.acct_t;
+        if dt <= 0.0 {
+            n.acct_t = now;
+            return;
+        }
+        let g = &self.groups[n.group];
+        let stalled = n.acct_t < n.stalled_until;
+        let busy = n.current.is_some() && !n.crashed && !stalled;
+        let power = match n.admin {
+            Admin::Deactivated => 0.0,
+            _ => {
+                if busy {
+                    g.busy_w_at[g.freq_idx]
+                } else {
+                    g.idle_w
+                }
+            }
+        };
+        n.energy_j += dt * power;
+        if busy {
+            let rate = g.rate_at[g.freq_idx] / n.slowdown;
+            if let Some(cur) = &mut n.current {
+                cur.remaining_ops = (cur.remaining_ops - dt * rate).max(0.0);
+            }
+        }
+        n.acct_t = now;
+    }
+
+    /// (Re-)schedule node `i`'s completion from its current state; bumps
+    /// the epoch so any previously scheduled completion cancels.
+    fn reschedule_completion(&mut self, i: usize) {
+        self.nodes[i].epoch += 1;
+        let n = &self.nodes[i];
+        if n.crashed {
+            return;
+        }
+        let Some(cur) = &n.current else { return };
+        let g = &self.groups[n.group];
+        let rate = g.rate_at[g.freq_idx] / n.slowdown;
+        let start = if n.stalled_until > self.now { n.stalled_until } else { self.now };
+        let t = start + cur.remaining_ops / rate;
+        let epoch = n.epoch;
+        self.push(t, EvKind::Completion { node: i, epoch });
+    }
+
+    /// Start the next queued request on an idle node.
+    fn start_next(&mut self, i: usize) {
+        self.advance(i);
+        let n = &mut self.nodes[i];
+        if n.current.is_some() {
+            return;
+        }
+        let Some(req) = n.queue.pop_front() else { return };
+        let ops = self.inflight.get(&req).map_or(0.0, |r| r.ops);
+        let n = &mut self.nodes[i];
+        n.queued_ops = (n.queued_ops - ops).max(0.0);
+        n.current = Some(Running {
+            req,
+            remaining_ops: ops,
+        });
+        self.reschedule_completion(i);
+    }
+
+    /// Instantaneous cluster power, watts.
+    fn power_now(&self) -> f64 {
+        self.nodes
+            .iter()
+            .map(|n| {
+                let g = &self.groups[n.group];
+                match n.admin {
+                    Admin::Deactivated => 0.0,
+                    _ => {
+                        let stalled = self.now < n.stalled_until;
+                        if n.current.is_some() && !n.crashed && !stalled {
+                            g.busy_w_at[g.freq_idx]
+                        } else {
+                            g.idle_w
+                        }
+                    }
+                }
+            })
+            .sum()
+    }
+
+    /// Believed serving capacity, ops/s (Active nodes at their DVFS level;
+    /// undetected crashes still count — the controller cannot see them).
+    fn believed_capacity(&self) -> f64 {
+        self.nodes
+            .iter()
+            .filter(|n| n.admin == Admin::Active)
+            .map(|n| {
+                let g = &self.groups[n.group];
+                g.rate_at[g.freq_idx]
+            })
+            .sum()
+    }
+
+    fn admitted_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.admin, Admin::Active | Admin::Draining))
+            .count()
+    }
+
+    // ---- request path ----------------------------------------------------
+
+    fn on_arrival<R: Recorder>(&mut self, ops: f64, source: &mut ArrivalSource, rec: &mut R) {
+        self.arrivals += 1;
+        self.window_arrival_ops += ops;
+        rec.tally("serve.arrivals", 1);
+        let id = self.next_req_id;
+        self.next_req_id += 1;
+        if self.shed_mode || self.inflight.len() >= self.cfg.max_inflight {
+            self.shed_admission += 1;
+            rec.tally("serve.shed", 1);
+        } else {
+            let traced = id < self.cfg.traced_requests;
+            if traced {
+                rec.span_begin(self.now, Track::Dispatcher, "request", id);
+            }
+            self.inflight.insert(
+                id,
+                Req {
+                    arrived: self.now,
+                    ops,
+                    attempt: 0,
+                    dispatch: 0,
+                    loc: Loc::Pending,
+                    exclude: None,
+                    traced,
+                },
+            );
+            if !self.dispatch(id) {
+                self.pending.push_back(id);
+            }
+        }
+        self.schedule_next_arrival(source);
+    }
+
+    /// Place `req` on the best Active node (least expected wait, ties by
+    /// node index). Falls back to the excluded node when it is the only
+    /// choice. Returns false (and marks the request Pending) when no
+    /// Active node exists.
+    fn dispatch(&mut self, req: u64) -> bool {
+        let Some(r) = self.inflight.get(&req) else { return true };
+        let ops = r.ops;
+        let exclude = r.exclude;
+        let mut best: Option<(f64, usize)> = None;
+        let mut best_excluded: Option<(f64, usize)> = None;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.admin != Admin::Active {
+                continue;
+            }
+            let g = &self.groups[n.group];
+            let rate = g.rate_at[g.freq_idx];
+            let backlog =
+                n.queued_ops + n.current.as_ref().map_or(0.0, |c| c.remaining_ops) + ops;
+            let score = backlog / rate;
+            let slot = if Some(i) == exclude { &mut best_excluded } else { &mut best };
+            let better = match *slot {
+                Some((best_score, _)) => score < best_score,
+                None => true,
+            };
+            if better {
+                *slot = Some((score, i));
+            }
+        }
+        let Some((expected, i)) = best.or(best_excluded) else {
+            if let Some(r) = self.inflight.get_mut(&req) {
+                r.loc = Loc::Pending;
+            }
+            return false;
+        };
+        let dispatch_gen = {
+            let Some(r) = self.inflight.get_mut(&req) else { return true };
+            r.loc = Loc::OnNode(i);
+            r.exclude = None;
+            r.dispatch += 1;
+            r.dispatch
+        };
+        let n = &mut self.nodes[i];
+        n.queue.push_back(req);
+        n.queued_ops += ops;
+        let timeout = self.cfg.retry.timeout_factor * expected;
+        if timeout.is_finite() {
+            self.push(
+                self.now + timeout,
+                EvKind::Timeout {
+                    req,
+                    dispatch: dispatch_gen,
+                },
+            );
+        }
+        if self.nodes[i].current.is_none() {
+            self.start_next(i);
+        }
+        true
+    }
+
+    /// Try to place every pending request (called whenever capacity may
+    /// have appeared: completions, repairs, activations, control ticks).
+    fn flush_pending(&mut self) {
+        let mut tries = self.pending.len();
+        while tries > 0 {
+            tries -= 1;
+            let Some(req) = self.pending.pop_front() else { break };
+            let live = matches!(
+                self.inflight.get(&req),
+                Some(Req { loc: Loc::Pending, .. })
+            );
+            if !live {
+                continue;
+            }
+            if !self.dispatch(req) {
+                self.pending.push_back(req);
+            }
+        }
+    }
+
+    fn on_completion<R: Recorder>(&mut self, i: usize, epoch: u64, rec: &mut R) {
+        if self.nodes[i].epoch != epoch {
+            return; // superseded schedule
+        }
+        self.advance(i);
+        let Some(cur) = self.nodes[i].current.take() else { return };
+        self.nodes[i].epoch += 1;
+        if let Some(r) = self.inflight.remove(&cur.req) {
+            let resp = self.now - r.arrived;
+            self.completions += 1;
+            self.resp_sum += resp;
+            self.window_resp.push(resp);
+            self.all_resp.push(resp);
+            rec.tally("serve.completions", 1);
+            rec.observe("serve.response_s", resp);
+            if r.traced {
+                rec.span_end(self.now, Track::Dispatcher, "request", cur.req);
+            }
+        }
+        if self.nodes[i].queue.is_empty() && self.nodes[i].admin == Admin::Draining {
+            self.park(i, rec);
+        } else {
+            self.start_next(i);
+        }
+        self.flush_pending();
+    }
+
+    fn on_timeout<R: Recorder>(&mut self, req: u64, dispatch: u32, rec: &mut R) {
+        let Some(r) = self.inflight.get(&req) else { return };
+        if r.dispatch != dispatch {
+            return; // stale: the request moved since this was scheduled
+        }
+        let Loc::OnNode(i) = r.loc else { return };
+        let (attempt, traced) = (r.attempt, r.traced);
+        self.timeouts += 1;
+        rec.tally("serve.timeouts", 1);
+        self.remove_from_node(i, req);
+        // A timeout is evidence: if the node really is dead, declare it
+        // down now instead of waiting for the next health sweep.
+        if self.nodes[i].crashed && matches!(self.nodes[i].admin, Admin::Active | Admin::Draining)
+        {
+            self.declare_down(i, rec);
+        }
+        if attempt >= self.cfg.retry.max_retries {
+            self.shed_retry += 1;
+            rec.tally("serve.shed", 1);
+            if traced {
+                rec.span_end(self.now, Track::Dispatcher, "request", req);
+            }
+            self.inflight.remove(&req);
+            return;
+        }
+        if let Some(r) = self.inflight.get_mut(&req) {
+            r.attempt += 1;
+            r.dispatch += 1;
+            r.exclude = Some(i);
+            r.loc = Loc::Backoff;
+            let delay = self.cfg.retry.backoff_s(r.attempt - 1);
+            self.retries += 1;
+            rec.tally("serve.retries", 1);
+            self.push(self.now + delay, EvKind::Redispatch { req });
+        }
+    }
+
+    fn on_redispatch<R: Recorder>(&mut self, req: u64, _rec: &mut R) {
+        let live = matches!(
+            self.inflight.get(&req),
+            Some(Req { loc: Loc::Backoff, .. })
+        );
+        if live && !self.dispatch(req) {
+            self.pending.push_back(req);
+        }
+    }
+
+    /// Take `req` off node `i`'s queue or current slot (no accounting of
+    /// outcome — callers decide retry vs shed).
+    fn remove_from_node(&mut self, i: usize, req: u64) {
+        self.advance(i);
+        let ops = self.inflight.get(&req).map_or(0.0, |r| r.ops);
+        let n = &mut self.nodes[i];
+        if n.current.as_ref().is_some_and(|c| c.req == req) {
+            n.current = None;
+            n.epoch += 1;
+            self.start_next(i);
+            return;
+        }
+        if let Some(pos) = n.queue.iter().position(|&q| q == req) {
+            n.queue.remove(pos);
+            n.queued_ops = (n.queued_ops - ops).max(0.0);
+        }
+    }
+
+    // ---- fault path ------------------------------------------------------
+
+    fn on_fault_window(&mut self, i: usize, window: u32) {
+        let w = self.cfg.fault_window_s;
+        let base = f64::from(window) * w;
+        let n = &self.nodes[i];
+        let events = self.plan.events_for_node(
+            self.cfg.seed,
+            window,
+            n.group,
+            u32::from(n.in_group),
+            w,
+        );
+        for e in events {
+            self.push(base + e.at_s, EvKind::Fault { node: i, kind: e.kind });
+        }
+        // Next window, unless the run is draining down.
+        if !self.arrivals_done {
+            self.push(base + w, EvKind::FaultWindow { node: i, window: window + 1 });
+        }
+    }
+
+    fn on_fault<R: Recorder>(&mut self, i: usize, kind: FaultKind, rec: &mut R) {
+        let n = &self.nodes[i];
+        // Powered-off nodes cannot fault; already-crashed nodes stay crashed.
+        if n.admin == Admin::Deactivated || n.admin == Admin::Down || n.crashed {
+            return;
+        }
+        let track = self.node_track(i);
+        rec.instant(self.now, track, kind.label(), 1.0);
+        rec.tally(kind.label(), 1);
+        match kind {
+            FaultKind::Crash => {
+                self.crashes += 1;
+                self.advance(i);
+                let n = &mut self.nodes[i];
+                n.crashed = true;
+                n.epoch += 1; // cancel any scheduled completion
+            }
+            FaultKind::Stall { duration_s } => {
+                self.stalls += 1;
+                self.advance(i);
+                let until = self.now + duration_s;
+                let n = &mut self.nodes[i];
+                if until > n.stalled_until {
+                    n.stalled_until = until;
+                    n.epoch += 1;
+                    self.push(until, EvKind::StallEnd { node: i });
+                }
+            }
+            FaultKind::Straggler { slowdown } => {
+                self.stragglers += 1;
+                self.advance(i);
+                let until = self.now + self.cfg.straggler_duration_s;
+                let n = &mut self.nodes[i];
+                n.slowdown = n.slowdown.max(slowdown);
+                if until > n.slow_until {
+                    n.slow_until = until;
+                    self.push(until, EvKind::StragglerEnd { node: i });
+                }
+                self.reschedule_completion(i);
+            }
+        }
+    }
+
+    fn on_stall_end(&mut self, i: usize) {
+        self.advance(i);
+        let n = &self.nodes[i];
+        if self.now < n.stalled_until || n.crashed {
+            return; // extended by a later stall, or superseded by a crash
+        }
+        self.reschedule_completion(i);
+    }
+
+    fn on_straggler_end(&mut self, i: usize) {
+        self.advance(i);
+        let n = &mut self.nodes[i];
+        if self.now < n.slow_until {
+            return; // extended
+        }
+        n.slowdown = 1.0;
+        if !n.crashed {
+            self.reschedule_completion(i);
+        }
+    }
+
+    fn on_health_check<R: Recorder>(&mut self, rec: &mut R) {
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].crashed
+                && matches!(self.nodes[i].admin, Admin::Active | Admin::Draining)
+            {
+                self.declare_down(i, rec);
+            }
+        }
+        self.push(self.now + self.cfg.health_interval_s, EvKind::HealthCheck);
+    }
+
+    /// Detection: mark `i` Down, re-route its backlog (no retry budget
+    /// consumed — the requests did nothing wrong), schedule repair.
+    fn declare_down<R: Recorder>(&mut self, i: usize, rec: &mut R) {
+        self.advance(i);
+        let n = &mut self.nodes[i];
+        n.admin = Admin::Down;
+        n.epoch += 1;
+        let mut work: Vec<u64> = Vec::with_capacity(n.queue.len() + 1);
+        if let Some(cur) = n.current.take() {
+            work.push(cur.req);
+        }
+        work.extend(n.queue.drain(..));
+        n.queued_ops = 0.0;
+        n.down_span_open = true;
+        let track = self.node_track(i);
+        rec.span_begin(self.now, track, "node.down", i as u64);
+        rec.counter(self.now, Track::Controller, "ctl.node_down", 1);
+        for req in work {
+            if let Some(r) = self.inflight.get_mut(&req) {
+                r.loc = Loc::Pending;
+                r.dispatch += 1; // invalidate outstanding timeouts
+                self.reroutes += 1;
+                rec.tally("serve.reroutes", 1);
+                self.pending.push_back(req);
+            }
+        }
+        self.push(self.now + self.cfg.repair_s, EvKind::Repair { node: i });
+        self.flush_pending();
+    }
+
+    fn on_repair<R: Recorder>(&mut self, i: usize, rec: &mut R) {
+        if self.nodes[i].admin != Admin::Down {
+            return;
+        }
+        self.advance(i);
+        let n = &mut self.nodes[i];
+        n.crashed = false;
+        n.stalled_until = f64::NEG_INFINITY;
+        n.slowdown = 1.0;
+        n.slow_until = f64::NEG_INFINITY;
+        n.admin = Admin::Active;
+        n.down_span_open = false;
+        self.repairs += 1;
+        let track = self.node_track(i);
+        rec.span_end(self.now, track, "node.down", i as u64);
+        rec.counter(self.now, Track::Controller, "ctl.node_up", 1);
+        self.flush_pending();
+    }
+
+    // ---- control loop ----------------------------------------------------
+
+    fn on_control_tick<R: Recorder>(&mut self, rec: &mut R) {
+        let power = self.power_now();
+        let p95 = exact_quantile(&self.window_resp, 0.95);
+        rec.gauge(self.now, Track::Controller, "ctl.power_w", power);
+        if let Some(p) = p95 {
+            rec.gauge(self.now, Track::Controller, "ctl.p95_s", p);
+        }
+        rec.gauge(
+            self.now,
+            Track::Controller,
+            "ctl.inflight",
+            self.inflight.len() as f64,
+        );
+        rec.gauge(
+            self.now,
+            Track::Controller,
+            "ctl.pending",
+            self.pending.len() as f64,
+        );
+        self.decide(power, p95, rec);
+        self.window_resp.clear();
+        self.window_arrival_ops = 0.0;
+        self.cooldown = self.cooldown.saturating_sub(1);
+        self.flush_pending();
+        self.push(self.now + self.cfg.tick_s, EvKind::ControlTick);
+    }
+
+    /// One reconfiguration decision per tick, in priority order: power cap
+    /// (brownout) > SLO breach (scale up, then shed) > energy
+    /// proportionality (scale down under sustained headroom).
+    fn decide<R: Recorder>(&mut self, power: f64, p95: Option<f64>, rec: &mut R) {
+        // 0. Nothing admitted but work outstanding: re-admit a parked node
+        // immediately (Down nodes come back via repair instead).
+        if self.admitted_count() == 0 && !self.inflight.is_empty() {
+            self.activate_one(rec);
+            return;
+        }
+        // 1. Power-cap breach: DVFS brownout, then forced deactivation.
+        if power > self.cfg.power_cap_w {
+            if self.dvfs_step_down(rec) || self.deactivate_one(true, rec) {
+                self.cooldown = self.cfg.scale_cooldown_ticks;
+            }
+            return;
+        }
+        // 2. SLO breach: capacity first, shedding as the last resort.
+        let over_slo = p95.is_some_and(|p| p > self.cfg.slo_p95_s);
+        if over_slo {
+            if self.activate_one(rec) || self.dvfs_step_up(power, rec) {
+                self.cooldown = self.cfg.scale_cooldown_ticks;
+                return;
+            }
+            if !self.shed_mode {
+                self.set_shed(true, rec);
+            }
+            return;
+        }
+        // Exit shed mode once the window p95 recovers (or everything
+        // drained with no samples left to judge by).
+        if self.shed_mode {
+            let recovered = match p95 {
+                Some(p) => p < SHED_EXIT_P95_FRACTION * self.cfg.slo_p95_s,
+                None => self.inflight.is_empty(),
+            };
+            if recovered {
+                self.set_shed(false, rec);
+            }
+            return;
+        }
+        // 3. Energy proportionality: under sustained latency headroom and
+        // spare believed capacity, park a node or step DVFS down.
+        if self.cooldown > 0 {
+            return;
+        }
+        let headroom = p95.is_some_and(|p| p < SCALE_DOWN_P95_FRACTION * self.cfg.slo_p95_s);
+        if !headroom {
+            return;
+        }
+        let demand = self.window_arrival_ops / self.cfg.tick_s;
+        if self.capacity_after_parking_one() > demand * CAPACITY_MARGIN
+            && self.deactivate_one(false, rec)
+        {
+            self.cooldown = self.cfg.scale_cooldown_ticks;
+        }
+    }
+
+    fn set_shed<R: Recorder>(&mut self, on: bool, rec: &mut R) {
+        self.shed_mode = on;
+        self.shed_toggles += 1;
+        if on {
+            self.shed_entries += 1;
+            rec.span_begin(self.now, Track::Controller, "shed.mode", self.shed_entries);
+            rec.counter(self.now, Track::Controller, "ctl.shed_on", 1);
+        } else {
+            rec.span_end(self.now, Track::Controller, "shed.mode", self.shed_entries);
+            rec.counter(self.now, Track::Controller, "ctl.shed_off", 1);
+        }
+    }
+
+    /// Believed capacity if the preferred park candidate were removed.
+    fn capacity_after_parking_one(&self) -> f64 {
+        match self.park_candidate() {
+            None => f64::NEG_INFINITY,
+            Some(i) => {
+                let g = &self.groups[self.nodes[i].group];
+                self.believed_capacity() - g.rate_at[g.freq_idx]
+            }
+        }
+    }
+
+    /// Which Active node to park next: the one with the highest idle power
+    /// (energy proportionality says park the idle-hungriest first), ties
+    /// by index. Never drops the admitted count below `min_active_nodes`.
+    fn park_candidate(&self) -> Option<usize> {
+        if self.admitted_count() <= self.cfg.min_active_nodes {
+            return None;
+        }
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.admin == Admin::Active)
+            .max_by(|(_, a), (_, b)| {
+                self.groups[a.group]
+                    .idle_w
+                    .total_cmp(&self.groups[b.group].idle_w)
+                    .then(b.in_group.cmp(&a.in_group)) // prefer the lowest index on ties
+            })
+            .map(|(i, _)| i)
+    }
+
+    fn deactivate_one<R: Recorder>(&mut self, forced: bool, rec: &mut R) -> bool {
+        let Some(i) = self.park_candidate() else { return false };
+        let _ = forced;
+        self.advance(i);
+        let idle = self.nodes[i].current.is_none() && self.nodes[i].queue.is_empty();
+        self.nodes[i].admin = if idle { Admin::Deactivated } else { Admin::Draining };
+        self.deactivations += 1;
+        rec.counter(self.now, Track::Controller, "ctl.deactivate", 1);
+        rec.instant(self.now, Track::Controller, "ctl.park_node", i as f64);
+        true
+    }
+
+    /// A Draining node finished its backlog: power it off.
+    fn park<R: Recorder>(&mut self, i: usize, rec: &mut R) {
+        self.advance(i);
+        self.nodes[i].admin = Admin::Deactivated;
+        self.nodes[i].epoch += 1;
+        rec.instant(self.now, Track::Controller, "ctl.parked", i as f64);
+    }
+
+    /// Re-admit the fastest Deactivated node, if any.
+    fn activate_one<R: Recorder>(&mut self, rec: &mut R) -> bool {
+        let candidate = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.admin == Admin::Deactivated)
+            .max_by(|(_, a), (_, b)| {
+                let ra = self.groups[a.group].rate_at[self.groups[a.group].freq_idx];
+                let rb = self.groups[b.group].rate_at[self.groups[b.group].freq_idx];
+                ra.total_cmp(&rb).then(b.in_group.cmp(&a.in_group))
+            })
+            .map(|(i, _)| i);
+        let Some(i) = candidate else { return false };
+        self.advance(i);
+        self.nodes[i].admin = Admin::Active;
+        self.activations += 1;
+        rec.counter(self.now, Track::Controller, "ctl.activate", 1);
+        rec.instant(self.now, Track::Controller, "ctl.admit_node", i as f64);
+        self.flush_pending();
+        true
+    }
+
+    /// Step the busiest-power group one DVFS level down (brownout).
+    fn dvfs_step_down<R: Recorder>(&mut self, rec: &mut R) -> bool {
+        let target = self
+            .group_indices_with_admitted_nodes()
+            .into_iter()
+            .filter(|&gi| self.groups[gi].freq_idx > 0)
+            .max_by(|&a, &b| {
+                self.groups[a].busy_w_at[self.groups[a].freq_idx]
+                    .total_cmp(&self.groups[b].busy_w_at[self.groups[b].freq_idx])
+            });
+        let Some(gi) = target else { return false };
+        self.apply_dvfs(gi, self.groups[gi].freq_idx - 1);
+        self.dvfs_down += 1;
+        rec.counter(self.now, Track::Controller, "ctl.dvfs_down", 1);
+        rec.instant(self.now, Track::Controller, "ctl.brownout_group", gi as f64);
+        true
+    }
+
+    /// Step the group with the largest throughput gain one DVFS level up —
+    /// only when under the power cap.
+    fn dvfs_step_up<R: Recorder>(&mut self, power: f64, rec: &mut R) -> bool {
+        if power > self.cfg.power_cap_w {
+            return false;
+        }
+        let target = self
+            .group_indices_with_admitted_nodes()
+            .into_iter()
+            .filter(|&gi| self.groups[gi].freq_idx + 1 < self.groups[gi].rate_at.len())
+            .max_by(|&a, &b| {
+                let gain = |gi: usize| {
+                    let g = &self.groups[gi];
+                    g.rate_at[g.freq_idx + 1] - g.rate_at[g.freq_idx]
+                };
+                gain(a).total_cmp(&gain(b))
+            });
+        let Some(gi) = target else { return false };
+        self.apply_dvfs(gi, self.groups[gi].freq_idx + 1);
+        self.dvfs_up += 1;
+        rec.counter(self.now, Track::Controller, "ctl.dvfs_up", 1);
+        rec.instant(self.now, Track::Controller, "ctl.boost_group", gi as f64);
+        true
+    }
+
+    fn group_indices_with_admitted_nodes(&self) -> Vec<usize> {
+        let mut present = vec![false; self.groups.len()];
+        for n in &self.nodes {
+            if matches!(n.admin, Admin::Active | Admin::Draining) {
+                present[n.group] = true;
+            }
+        }
+        present
+            .iter()
+            .enumerate()
+            .filter_map(|(gi, &p)| p.then_some(gi))
+            .collect()
+    }
+
+    /// Retarget a whole group's DVFS level; running work is re-timed at
+    /// the new rate.
+    fn apply_dvfs(&mut self, gi: usize, new_idx: usize) {
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].group == gi {
+                self.advance(i);
+            }
+        }
+        self.groups[gi].freq_idx = new_idx;
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].group == gi && self.nodes[i].current.is_some() {
+                self.reschedule_completion(i);
+            }
+        }
+    }
+
+    // ---- shutdown --------------------------------------------------------
+
+    fn finish<R: Recorder>(&mut self, forced: bool, rec: &mut R) -> ServeReport {
+        for i in 0..self.nodes.len() {
+            self.advance(i);
+        }
+        // Span balance at shutdown: every open span closes here.
+        for (&id, r) in &self.inflight {
+            if r.traced {
+                rec.span_end(self.now, Track::Dispatcher, "request", id);
+            }
+        }
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].down_span_open {
+                let track = self.node_track(i);
+                rec.span_end(self.now, track, "node.down", i as u64);
+                self.nodes[i].down_span_open = false;
+            }
+        }
+        if self.shed_mode {
+            rec.span_end(self.now, Track::Controller, "shed.mode", self.shed_entries);
+        }
+        rec.span_end(self.now, Track::Controller, "serve.run", self.cfg.seed);
+
+        let energy_j: f64 = self.nodes.iter().map(|n| n.energy_j).sum();
+        let horizon_s = self.now;
+        let nan = f64::NAN;
+        ServeReport {
+            arrivals: self.arrivals,
+            completions: self.completions,
+            shed_admission: self.shed_admission,
+            shed_retry: self.shed_retry,
+            in_flight_at_stop: self.inflight.len() as u64,
+            timeouts: self.timeouts,
+            retries: self.retries,
+            reroutes: self.reroutes,
+            crashes: self.crashes,
+            stalls: self.stalls,
+            stragglers: self.stragglers,
+            repairs: self.repairs,
+            activations: self.activations,
+            deactivations: self.deactivations,
+            dvfs_up: self.dvfs_up,
+            dvfs_down: self.dvfs_down,
+            shed_toggles: self.shed_toggles,
+            horizon_s,
+            energy_j,
+            mean_power_w: if horizon_s > 0.0 { energy_j / horizon_s } else { 0.0 },
+            mean_response_s: if self.completions > 0 {
+                self.resp_sum / self.completions as f64
+            } else {
+                nan
+            },
+            p50_s: exact_quantile(&self.all_resp, 0.50).unwrap_or(nan),
+            p95_s: exact_quantile(&self.all_resp, 0.95).unwrap_or(nan),
+            p99_s: exact_quantile(&self.all_resp, 0.99).unwrap_or(nan),
+            events: self.events,
+            forced_stop: forced,
+        }
+    }
+}
+
+/// A request size that runs ~20 ms on the cluster's mean node at its
+/// spec'd operating point — a sensible serving-scale default the CLI and
+/// tests share.
+pub fn default_ops_per_request(
+    workload: &Workload,
+    cluster: &ClusterSpec,
+) -> Result<f64, EnpropError> {
+    Ok(mean_node_rate(workload, cluster)? * 0.02)
+}
+
+/// Total fault-free serving capacity at the spec'd operating points,
+/// ops/s.
+pub fn cluster_capacity_ops_s(
+    workload: &Workload,
+    cluster: &ClusterSpec,
+) -> Result<f64, EnpropError> {
+    let mut total = 0.0;
+    for g in &cluster.groups {
+        let profile = workload.try_profile(g.spec.name)?;
+        let model = SingleNodeModel::new(&profile.spec, &profile.demand, workload.io_rate);
+        total += f64::from(g.count) * model.throughput(g.cores, g.freq);
+    }
+    if !total.is_finite() || total <= 0.0 {
+        return Err(EnpropError::EmptyCluster {
+            workload: workload.name.to_string(),
+        });
+    }
+    Ok(total)
+}
+
+fn mean_node_rate(workload: &Workload, cluster: &ClusterSpec) -> Result<f64, EnpropError> {
+    let nodes: u32 = cluster.groups.iter().map(|g| g.count).sum();
+    if nodes == 0 {
+        return Err(EnpropError::EmptyCluster {
+            workload: workload.name.to_string(),
+        });
+    }
+    Ok(cluster_capacity_ops_s(workload, cluster)? / f64::from(nodes))
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use crate::arrivals::{ArrivalModel, SyntheticArrivals};
+    use enprop_faults::{FaultPlan, GroupFaultProfile, MtbfModel};
+    use enprop_obs::{MemoryRecorder, NoopRecorder};
+    use enprop_workloads::catalog;
+
+    fn setup() -> (Workload, ClusterSpec, f64) {
+        let w = catalog::by_name("memcached").unwrap();
+        let c = ClusterSpec::a9_k10(4, 2);
+        let ops = default_ops_per_request(&w, &c).unwrap();
+        (w, c, ops)
+    }
+
+    fn poisson_source(w: &Workload, c: &ClusterSpec, ops: f64, n: u64, util: f64, seed: u64) -> ArrivalSource {
+        let cap = cluster_capacity_ops_s(w, c).unwrap();
+        let rate = util * cap / ops;
+        ArrivalSource::Synthetic(
+            SyntheticArrivals::new(ArrivalModel::Poisson { rate }, n, ops, 0.2, seed).unwrap(),
+        )
+    }
+
+    #[test]
+    fn clean_run_completes_everything() {
+        let (w, c, ops) = setup();
+        let cfg = ServeConfig::new(7);
+        let plan = FaultPlan::none();
+        let mut src = poisson_source(&w, &c, ops, 2000, 0.5, 7);
+        let r =
+            Controller::run(&w, &c, &plan, &cfg, &mut src, &mut NoopRecorder).unwrap();
+        assert_eq!(r.arrivals, 2000);
+        assert_eq!(r.completions + r.shed(), 2000);
+        assert_eq!(r.in_flight_at_stop, 0);
+        assert!(r.conservation_ok(), "{}", r.conservation_line());
+        assert!(!r.forced_stop);
+        assert!(r.energy_j > 0.0);
+        assert!(r.p95_s > 0.0);
+    }
+
+    #[test]
+    fn runs_are_seed_deterministic() {
+        let (w, c, ops) = setup();
+        let cfg = ServeConfig::new(11);
+        let profile = GroupFaultProfile {
+            mtbf: MtbfModel::Exponential { mtbf_s: 30.0 },
+            kinds: vec![
+                (0.5, FaultKind::Crash),
+                (0.3, FaultKind::Stall { duration_s: 2.0 }),
+                (0.2, FaultKind::Straggler { slowdown: 3.0 }),
+            ],
+        };
+        let plan = FaultPlan::uniform(11, profile, c.groups.len());
+        let run = |rec: &mut MemoryRecorder| {
+            let mut src = poisson_source(&w, &c, ops, 1500, 0.6, 11);
+            Controller::run(&w, &c, &plan, &cfg, &mut src, rec).unwrap()
+        };
+        let mut rec_a = MemoryRecorder::new();
+        let mut rec_b = MemoryRecorder::new();
+        let a = run(&mut rec_a);
+        let b = run(&mut rec_b);
+        assert_eq!(a, b);
+        assert_eq!(rec_a.events(), rec_b.events());
+    }
+
+    #[test]
+    fn crashes_recover_and_conserve() {
+        let (w, c, ops) = setup();
+        let mut cfg = ServeConfig::new(3);
+        cfg.repair_s = 5.0;
+        let profile = GroupFaultProfile::crashes(MtbfModel::Exponential { mtbf_s: 20.0 });
+        let plan = FaultPlan::uniform(3, profile, c.groups.len());
+        let mut src = poisson_source(&w, &c, ops, 3000, 0.5, 3);
+        let mut rec = MemoryRecorder::new();
+        let r = Controller::run(&w, &c, &plan, &cfg, &mut src, &mut rec).unwrap();
+        assert!(r.conservation_ok(), "{}", r.conservation_line());
+        assert!(r.crashes > 0, "plan should have injected crashes");
+        assert!(r.repairs > 0, "downed nodes should repair");
+        assert!(
+            rec.counters().get("ctl.node_down").copied().unwrap_or(0) > 0,
+            "detection decisions must be visible in telemetry"
+        );
+    }
+
+    #[test]
+    fn overload_triggers_shedding_and_recovers() {
+        let (w, c, ops) = setup();
+        let mut cfg = ServeConfig::new(5);
+        cfg.slo_p95_s = 0.05;
+        cfg.max_inflight = 200;
+        let plan = FaultPlan::none();
+        // 3× overload: shed mode (or the inflight cap) must engage.
+        let mut src = poisson_source(&w, &c, ops, 4000, 3.0, 5);
+        let r =
+            Controller::run(&w, &c, &plan, &cfg, &mut src, &mut NoopRecorder).unwrap();
+        assert!(r.conservation_ok(), "{}", r.conservation_line());
+        assert!(r.shed() > 0, "3x overload must shed");
+        assert!(r.completions > 0, "some requests must still complete");
+    }
+
+    #[test]
+    fn power_cap_forces_brownout() {
+        let (w, c, ops) = setup();
+        let mut cfg = ServeConfig::new(9);
+        // Cap below the all-busy draw: brownout or parking must follow.
+        cfg.power_cap_w = 60.0;
+        let plan = FaultPlan::none();
+        let mut src = poisson_source(&w, &c, ops, 3000, 0.8, 9);
+        let mut rec = MemoryRecorder::new();
+        let r = Controller::run(&w, &c, &plan, &cfg, &mut src, &mut rec).unwrap();
+        assert!(r.conservation_ok(), "{}", r.conservation_line());
+        assert!(
+            r.dvfs_down + r.deactivations > 0,
+            "a breached power cap must trigger brownout/parking: {r:?}"
+        );
+    }
+
+    #[test]
+    fn span_balance_holds_with_faults() {
+        let (w, c, ops) = setup();
+        let cfg = ServeConfig::new(13);
+        let profile = GroupFaultProfile {
+            mtbf: MtbfModel::Exponential { mtbf_s: 15.0 },
+            kinds: vec![(0.6, FaultKind::Crash), (0.4, FaultKind::Stall { duration_s: 3.0 })],
+        };
+        let plan = FaultPlan::uniform(13, profile, c.groups.len());
+        let mut src = poisson_source(&w, &c, ops, 1000, 0.7, 13);
+        let mut rec = MemoryRecorder::new();
+        let r = Controller::run(&w, &c, &plan, &cfg, &mut src, &mut rec).unwrap();
+        assert!(r.conservation_ok(), "{}", r.conservation_line());
+        let mut open: BTreeMap<(u64, &str, u64), i64> = BTreeMap::new();
+        for e in rec.events() {
+            match e.kind {
+                enprop_obs::EventKind::SpanBegin => {
+                    *open.entry((e.track.tid(), e.name, e.id)).or_insert(0) += 1;
+                }
+                enprop_obs::EventKind::SpanEnd => {
+                    *open.entry((e.track.tid(), e.name, e.id)).or_insert(0) -= 1;
+                }
+                _ => {}
+            }
+        }
+        for (k, v) in open {
+            assert_eq!(v, 0, "unbalanced span {k:?}");
+        }
+    }
+
+    #[test]
+    fn schedule_plan_hits_exact_nodes() {
+        let (w, c, ops) = setup();
+        let mut cfg = ServeConfig::new(21);
+        cfg.repair_s = 4.0;
+        // Deterministic crash at t=2s on every node of group 0.
+        let plan = FaultPlan {
+            seed: 21,
+            groups: vec![
+                GroupFaultProfile {
+                    mtbf: MtbfModel::Schedule(vec![2.0]),
+                    kinds: vec![(1.0, FaultKind::Crash)],
+                },
+                GroupFaultProfile::none(),
+            ],
+        };
+        let mut src = poisson_source(&w, &c, ops, 1500, 0.5, 21);
+        let r =
+            Controller::run(&w, &c, &plan, &cfg, &mut src, &mut NoopRecorder).unwrap();
+        assert!(r.conservation_ok(), "{}", r.conservation_line());
+        assert!(r.crashes >= 4, "all four A9 nodes crash at t=2: {r:?}");
+        assert!(r.repairs >= 4);
+        assert!(r.completions > 0);
+    }
+
+    #[test]
+    fn empty_source_terminates_immediately() {
+        let (w, c, _ops) = setup();
+        let cfg = ServeConfig::new(1);
+        let plan = FaultPlan::none();
+        let mut src = ArrivalSource::Replay(crate::trace::ReplayCursor::new(Vec::new()));
+        let r =
+            Controller::run(&w, &c, &plan, &cfg, &mut src, &mut NoopRecorder).unwrap();
+        assert_eq!(r.arrivals, 0);
+        assert!(r.conservation_ok());
+    }
+
+    #[test]
+    fn helpers_reject_empty_clusters() {
+        let (w, _, _) = setup();
+        let empty = ClusterSpec::a9_k10(0, 0);
+        assert!(default_ops_per_request(&w, &empty).is_err());
+        assert!(matches!(
+            Controller::run(
+                &w,
+                &empty,
+                &FaultPlan::none(),
+                &ServeConfig::new(1),
+                &mut ArrivalSource::Replay(crate::trace::ReplayCursor::new(Vec::new())),
+                &mut NoopRecorder,
+            ),
+            Err(EnpropError::EmptyCluster { .. })
+        ));
+    }
+}

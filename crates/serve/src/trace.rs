@@ -1,0 +1,165 @@
+//! JSONL arrival traces: the replay interchange format.
+//!
+//! One object per line, `{"t_s":<seconds>,"ops":<operations>}` — small
+//! enough to hand-roll (the workspace carries no JSON dependency) and
+//! stable enough to diff. [`format_trace`] and [`parse_trace`] round-trip
+//! bit-identically through the shortest-roundtrip float formatting both
+//! sides share.
+
+use enprop_faults::EnpropError;
+
+use crate::arrivals::Arrival;
+
+/// Serialize arrivals to the JSONL trace format (one object per line,
+/// trailing newline).
+pub fn format_trace(arrivals: &[Arrival]) -> String {
+    let mut out = String::with_capacity(arrivals.len() * 32);
+    for a in arrivals {
+        out.push_str(&format!("{{\"t_s\":{},\"ops\":{}}}\n", a.t_s, a.ops));
+    }
+    out
+}
+
+/// Extract the number following `"key":` on a single JSONL line.
+fn json_num(line: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = line.find(&needle)? + needle.len();
+    let rest = line[at..].trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| c == ',' || c == '}' || c.is_whitespace())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parse a JSONL arrival trace. Every non-empty line must carry a finite
+/// `t_s ≥ 0`; lines may omit `ops`, which then falls back to
+/// `default_ops`. Arrival times must be non-decreasing — a trace is a
+/// timeline, not a bag.
+pub fn parse_trace(text: &str, default_ops: f64) -> Result<Vec<Arrival>, EnpropError> {
+    if !default_ops.is_finite() || default_ops <= 0.0 {
+        return Err(EnpropError::invalid_parameter(
+            "default_ops",
+            format!("must be finite and > 0, got {default_ops}"),
+        ));
+    }
+    let mut out = Vec::new();
+    let mut prev = 0.0_f64;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = i + 1;
+        let t_s = json_num(line, "t_s").ok_or_else(|| {
+            EnpropError::invalid_config(format!("trace line {lineno}: missing or malformed \"t_s\""))
+        })?;
+        if !t_s.is_finite() || t_s < 0.0 {
+            return Err(EnpropError::invalid_config(format!(
+                "trace line {lineno}: t_s must be finite and ≥ 0, got {t_s}"
+            )));
+        }
+        if t_s < prev {
+            return Err(EnpropError::invalid_config(format!(
+                "trace line {lineno}: arrival times must be non-decreasing ({t_s} after {prev})"
+            )));
+        }
+        prev = t_s;
+        let ops = json_num(line, "ops").unwrap_or(default_ops);
+        if !ops.is_finite() || ops <= 0.0 {
+            return Err(EnpropError::invalid_config(format!(
+                "trace line {lineno}: ops must be finite and > 0, got {ops}"
+            )));
+        }
+        out.push(Arrival { t_s, ops });
+    }
+    Ok(out)
+}
+
+/// A parsed trace being replayed front to back.
+#[derive(Debug)]
+pub struct ReplayCursor {
+    arrivals: Vec<Arrival>,
+    next: usize,
+}
+
+impl ReplayCursor {
+    /// Replay `arrivals` (already time-ordered — [`parse_trace`] enforces
+    /// this).
+    pub fn new(arrivals: Vec<Arrival>) -> Self {
+        ReplayCursor { arrivals, next: 0 }
+    }
+
+    /// Total arrivals in the trace.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// True when the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// Next arrival, or `None` past the end.
+    pub fn next_arrival(&mut self) -> Option<Arrival> {
+        let a = self.arrivals.get(self.next).copied()?;
+        self.next += 1;
+        Some(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_bit_identically() {
+        let arrivals = vec![
+            Arrival { t_s: 0.0, ops: 1000.0 },
+            Arrival { t_s: 0.125, ops: 512.5 },
+            Arrival { t_s: 2.25e3, ops: 1.0 },
+        ];
+        let text = format_trace(&arrivals);
+        let parsed = parse_trace(&text, 1.0).expect("round trip");
+        assert_eq!(parsed, arrivals);
+        // And formatting the parse reproduces the text exactly.
+        assert_eq!(format_trace(&parsed), text);
+    }
+
+    #[test]
+    fn missing_ops_falls_back_to_default() {
+        let parsed = parse_trace("{\"t_s\":1.5}\n", 42.0).expect("parse");
+        assert_eq!(parsed, vec![Arrival { t_s: 1.5, ops: 42.0 }]);
+    }
+
+    #[test]
+    fn blank_lines_and_whitespace_are_tolerated() {
+        let text = "\n  {\"t_s\": 1.0, \"ops\": 2.0}  \n\n{\"t_s\":3.0,\"ops\":4.0}\n";
+        let parsed = parse_trace(text, 1.0).expect("parse");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0], Arrival { t_s: 1.0, ops: 2.0 });
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_trace("{\"ops\":1.0}\n", 1.0).is_err());
+        assert!(parse_trace("{\"t_s\":-1.0}\n", 1.0).is_err());
+        assert!(parse_trace("{\"t_s\":nope}\n", 1.0).is_err());
+        assert!(parse_trace("{\"t_s\":2.0}\n{\"t_s\":1.0}\n", 1.0).is_err());
+        assert!(parse_trace("{\"t_s\":1.0,\"ops\":0.0}\n", 1.0).is_err());
+        assert!(parse_trace("{\"t_s\":1.0}\n", 0.0).is_err());
+    }
+
+    #[test]
+    fn cursor_walks_front_to_back() {
+        let mut c = ReplayCursor::new(vec![
+            Arrival { t_s: 0.0, ops: 1.0 },
+            Arrival { t_s: 1.0, ops: 2.0 },
+        ]);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+        assert_eq!(c.next_arrival().map(|a| a.t_s), Some(0.0));
+        assert_eq!(c.next_arrival().map(|a| a.t_s), Some(1.0));
+        assert_eq!(c.next_arrival(), None);
+    }
+}

@@ -2,7 +2,7 @@
 # `./scripts/verify.sh` is the no-just fallback.
 
 # Build, test and lint the whole workspace (warnings are errors).
-verify: && obs-smoke perf-smoke
+verify: && obs-smoke perf-smoke serve-smoke
     cargo build --release --workspace --offline
     cargo test -q --workspace --offline
     cargo clippy --workspace --all-targets --offline -- -D warnings
@@ -27,6 +27,21 @@ obs-smoke:
 # sequential baseline.
 perf-smoke:
     cargo run --release -p enprop-bench --bin perf_smoke --offline
+
+# Serving-mode gate (DESIGN.md §13): replay the bundled arrival trace
+# under an active chaos plan, assert a clean exit and the conservation
+# invariant, then run the serve_replay throughput gate (appends
+# BENCH_serve_replay.json).
+serve-smoke:
+    #!/usr/bin/env sh
+    set -eu
+    out="$(cargo run --release -p enprop-cli --offline -- replay \
+        --trace examples/replay_trace.jsonl \
+        --mtbf 6 --stall 2 --slowdown 3 --repair 5 --seed 7)"
+    printf '%s\n' "$out"
+    printf '%s\n' "$out" | grep -q "conservation: OK"
+    cargo run --release -p enprop-bench --bin serve_replay --offline
+    echo "serve-smoke: OK"
 
 # Fast signal while iterating.
 check:

@@ -27,4 +27,10 @@ grep -q traceEvents "$obs_tmp/t.json"
 grep -q enprop-obs-metrics-v1 "$obs_tmp/m.json"
 echo "==> perf smoke (pooled + memoized evaluation must not regress)"
 cargo run --release -p enprop-bench --bin perf_smoke --offline
+echo "==> serve smoke (chaos replay + conservation + throughput floor)"
+serve_out="$(./target/release/enprop replay --trace examples/replay_trace.jsonl \
+    --mtbf 6 --stall 2 --slowdown 3 --repair 5 --seed 7)"
+printf '%s\n' "$serve_out"
+printf '%s\n' "$serve_out" | grep -q "conservation: OK"
+cargo run --release -p enprop-bench --bin serve_replay --offline
 echo "verify: OK"
