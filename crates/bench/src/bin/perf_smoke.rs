@@ -80,11 +80,7 @@ fn main() -> ExitCode {
         ("space_eval.pooled", pooled),
         ("space_eval.pooled_cached", cached),
     ] {
-        let record = BenchRecord {
-            cmd: cmd.into(),
-            wall_ms,
-            seed: threads as u64,
-        };
+        let record = BenchRecord::new(cmd, wall_ms, threads as u64);
         if let Err(e) = append_bench_record(path, &record) {
             eprintln!("perf-smoke: cannot write {}: {e}", path.display());
             return ExitCode::from(2);

@@ -12,7 +12,7 @@
 
 use enprop_clustersim::ClusterSpec;
 use enprop_faults::{FaultKind, FaultPlan, GroupFaultProfile, MtbfModel};
-use enprop_obs::{append_bench_record, BenchRecord, NoopRecorder};
+use enprop_obs::{append_bench_record, peak_rss_kb, BenchRecord, NoopRecorder};
 use enprop_serve::{
     cluster_capacity_ops_s, default_ops_per_request, ArrivalModel, ArrivalSource, Controller,
     ServeConfig, SyntheticArrivals,
@@ -85,14 +85,16 @@ fn main() -> ExitCode {
         );
     }
     let req_per_s = REQUESTS as f64 / (best_ms / 1e3);
+    let rss = peak_rss_kb();
     println!("  best of {REPS}: {best_ms:>9.1} ms   {req_per_s:>12.0} req/s   {last_events} events");
+    if let Some(kb) = rss {
+        println!("  peak RSS: {kb} kB");
+    }
 
     let path = Path::new("BENCH_serve_replay.json");
-    let record = BenchRecord {
-        cmd: "serve_replay.1m_chaos".into(),
-        wall_ms: best_ms,
-        seed: SEED,
-    };
+    let mut record = BenchRecord::new("serve_replay.1m_chaos", best_ms, SEED);
+    record.req_per_s = Some(req_per_s);
+    record.peak_rss_kb = rss;
     if let Err(e) = append_bench_record(path, &record) {
         eprintln!("serve-replay: cannot write {}: {e}", path.display());
         return ExitCode::from(2);

@@ -5,6 +5,7 @@ pub mod characterize_cmd;
 pub mod explore_cmds;
 pub mod faults_cmd;
 pub mod figures;
+pub mod obs_cmd;
 pub mod serve_cmd;
 pub mod strategies;
 pub mod tables;

@@ -9,7 +9,7 @@ use enprop_clustersim::{ClusterSpec, EnpropError, FaultKind, FaultPlan, GroupFau
 use enprop_serve::{
     chaos_sweep, cluster_capacity_ops_s, default_ops_per_request, format_trace, parse_trace,
     Arrival, ArrivalModel, ArrivalSource, Controller, ReplayCursor, ServeConfig, ServeReport,
-    SyntheticArrivals,
+    SyntheticArrivals, WindowReport,
 };
 use enprop_workloads::catalog;
 use std::path::PathBuf;
@@ -50,6 +50,12 @@ pub struct ServeOpts {
     pub emit_arrivals: Option<PathBuf>,
     /// Chaos sweep width (plans swept by `enprop chaos`).
     pub plans: u32,
+    /// Optional p999 response-time objective, seconds (an additional SLO
+    /// constraint in the control loop).
+    pub slo_p999_s: Option<f64>,
+    /// Print one observability-plane window row per this many virtual
+    /// seconds as the run progresses (sets the plane's window length).
+    pub live_report_s: Option<f64>,
 }
 
 impl Default for ServeOpts {
@@ -70,6 +76,8 @@ impl Default for ServeOpts {
             max_inflight: 10_000,
             emit_arrivals: None,
             plans: 8,
+            slo_p999_s: None,
+            live_report_s: None,
         }
     }
 }
@@ -89,7 +97,27 @@ fn serve_config(opts: &Opts, so: &ServeOpts) -> ServeConfig {
     cfg.power_cap_w = so.power_cap_w.unwrap_or(f64::INFINITY);
     cfg.repair_s = so.repair_s;
     cfg.max_inflight = so.max_inflight;
+    cfg.slo_p999_s = so.slo_p999_s;
+    if let Some(w) = so.live_report_s {
+        cfg.obs_window_s = w;
+    }
     cfg
+}
+
+/// The `--live-report` sink: a header once, then one fixed-width row per
+/// closed plane window, streamed as virtual time advances.
+fn live_sink(enabled: bool) -> impl FnMut(&WindowReport) {
+    let mut printed_header = false;
+    move |w: &WindowReport| {
+        if !enabled {
+            return;
+        }
+        if !printed_header {
+            println!("{}", WindowReport::header());
+            printed_header = true;
+        }
+        println!("{}", w.row());
+    }
 }
 
 /// Build the fault plan from the `--mtbf`/`--stall`/`--slowdown` flags
@@ -171,7 +199,10 @@ pub fn serve_cmd(
     let plan = serve_plan(opts, so, cluster.groups.len());
     let cfg = serve_config(opts, so);
     let mut source = ArrivalSource::Replay(ReplayCursor::new(arrivals));
-    let report = Controller::run(&workload, &cluster, &plan, &cfg, &mut source, &mut ctx.rec)?;
+    let mut live = live_sink(so.live_report_s.is_some());
+    let report = Controller::run_live(
+        &workload, &cluster, &plan, &cfg, &mut source, &mut ctx.rec, &mut live,
+    )?;
     print_report(opts, workload.name, &cluster, "serve", &report);
     Ok(())
 }
@@ -205,7 +236,10 @@ pub fn replay_cmd(
     let plan = serve_plan(opts, so, cluster.groups.len());
     let cfg = serve_config(opts, so);
     let mut source = ArrivalSource::Replay(ReplayCursor::new(arrivals));
-    let report = Controller::run(&workload, &cluster, &plan, &cfg, &mut source, &mut ctx.rec)?;
+    let mut live = live_sink(so.live_report_s.is_some());
+    let report = Controller::run_live(
+        &workload, &cluster, &plan, &cfg, &mut source, &mut ctx.rec, &mut live,
+    )?;
     print_report(opts, workload.name, &cluster, "replay", &report);
     Ok(())
 }
@@ -300,6 +334,7 @@ fn print_report(opts: &Opts, workload: &str, cluster: &ClusterSpec, mode: &str, 
             vec!["p50_s".into(), format!("{:.6}", r.p50_s)],
             vec!["p95_s".into(), format!("{:.6}", r.p95_s)],
             vec!["p99_s".into(), format!("{:.6}", r.p99_s)],
+            vec!["p999_s".into(), format!("{:.6}", r.p999_s)],
             vec!["events".into(), r.events.to_string()],
             vec!["forced_stop".into(), r.forced_stop.to_string()],
         ];
@@ -315,8 +350,8 @@ fn print_report(opts: &Opts, workload: &str, cluster: &ClusterSpec, mode: &str, 
             r.completions, r.arrivals, r.horizon_s, r.events
         );
         println!(
-            "  latency: mean {:.4} s   p50 {:.4} s   p95 {:.4} s   p99 {:.4} s",
-            r.mean_response_s, r.p50_s, r.p95_s, r.p99_s
+            "  latency: mean {:.4} s   p50 {:.4} s   p95 {:.4} s   p99 {:.4} s   p999 {:.4} s",
+            r.mean_response_s, r.p50_s, r.p95_s, r.p99_s, r.p999_s
         );
         println!(
             "  energy:  {:.0} J over the run   mean power {:.1} W",

@@ -8,8 +8,8 @@ mod diag;
 mod output;
 
 use commands::{
-    characterize_cmd, explore_cmds, faults_cmd, figures, serve_cmd, strategies, tables, ObsCtx,
-    Opts,
+    characterize_cmd, explore_cmds, faults_cmd, figures, obs_cmd, serve_cmd, strategies, tables,
+    ObsCtx, Opts,
 };
 use enprop_clustersim::EnpropError;
 use enprop_obs::{
@@ -49,13 +49,23 @@ Serving commands (online mode, DESIGN.md \u{a7}13):
   serve         Extension: online serving under a virtual-time controller
                 [--requests N] [--utilization U | --rate R] [--arrival
                 poisson|diurnal] [--period S] [--ops-per-request OPS]
-                [--slo-p95 S] [--power-cap W] [--mtbf S] [--stall S]
-                [--slowdown X] [--repair S] [--max-inflight N]
-                [--emit-arrivals FILE]
+                [--slo-p95 S] [--slo-p999 S] [--power-cap W] [--mtbf S]
+                [--stall S] [--slowdown X] [--repair S] [--max-inflight N]
+                [--emit-arrivals FILE] [--live-report SECS]
   replay        Replay a JSONL arrival trace through the serving
                 controller  --trace FILE  (same options as serve)
   chaos         Sweep randomized fault plans over serving runs, checking
                 conservation and span balance  [--plans N] [--requests N]
+
+Observability commands (DESIGN.md \u{a7}14):
+  obs query     Filter a recorded JSONL trace  --trace FILE  [--track T]
+                [--name N] [--from S] [--to S] [--limit N]
+                [--quantiles METRIC]  (percentiles from bounded-memory
+                sketches, \u{b1}1% relative error)
+  obs report    Per-window serving table (req/s, p50/p99/p999, W, J/req,
+                EP index, burn rate; per node group)  --trace FILE
+  obs power     Simulated power-meter trace  [--utilization X]
+                (formerly top-level `enprop trace`)
 
 Exploration commands:
   footnote4     Configuration-space size (paper's 36,380 example)
@@ -63,7 +73,6 @@ Exploration commands:
   ablation      Extension: quadratic power-curve ablation (Hsu & Poole)
   pareto        Energy-deadline Pareto frontier  [--a9 N] [--k10 N]
   search        Extension: heuristic sweet-spot search  --deadline SECS
-  trace         Simulated power-meter trace  [--utilization X]
   export        Dump the evaluated configuration space as CSV  [--a9 N] [--k10 N]
   strategies    Extension: all energy strategies side by side
   sweet         Min-energy config under a deadline  --deadline SECS [--a9 N] [--k10 N]
@@ -235,9 +244,55 @@ fn run() -> Result<(), EnpropError> {
         }
         "strategies" => strategies::strategies_cmd(&opts),
         "export" => explore_cmds::export_cmd(&opts, a9, k10, &mut ctx),
+        // `trace` is the hidden legacy spelling of `obs power`.
         "trace" => {
             let u: f64 = parse_num(&args, "--utilization")?.unwrap_or(0.6);
             explore_cmds::trace_cmd(&opts, u, &mut ctx);
+        }
+        "obs" => {
+            let sub = args.get(1).cloned().unwrap_or_default();
+            match sub.as_str() {
+                "query" => {
+                    let q = obs_cmd::ObsQueryOpts {
+                        trace: parse_flag(&args, "--trace").map(PathBuf::from).ok_or_else(
+                            || {
+                                EnpropError::invalid_parameter(
+                                    "--trace",
+                                    "obs query requires --trace FILE (a --trace-out .jsonl export)",
+                                )
+                            },
+                        )?,
+                        track: parse_flag(&args, "--track"),
+                        name: parse_flag(&args, "--name"),
+                        from_s: parse_num(&args, "--from")?,
+                        to_s: parse_num(&args, "--to")?,
+                        quantiles: parse_flag(&args, "--quantiles"),
+                        limit: parse_num(&args, "--limit")?.unwrap_or(50),
+                    };
+                    obs_cmd::query_cmd(&opts, &q)?;
+                }
+                "report" => {
+                    let trace = parse_flag(&args, "--trace").map(PathBuf::from).ok_or_else(
+                        || {
+                            EnpropError::invalid_parameter(
+                                "--trace",
+                                "obs report requires --trace FILE (a --trace-out .jsonl export)",
+                            )
+                        },
+                    )?;
+                    obs_cmd::report_cmd(&opts, &trace)?;
+                }
+                "power" => {
+                    let u: f64 = parse_num(&args, "--utilization")?.unwrap_or(0.6);
+                    explore_cmds::trace_cmd(&opts, u, &mut ctx);
+                }
+                other => {
+                    return Err(EnpropError::invalid_parameter(
+                        "obs",
+                        format!("expected query, report or power, got {other:?}"),
+                    ));
+                }
+            }
         }
         "sweet" => {
             let deadline: f64 = require_num(&args, "--deadline", "sweet requires --deadline SECS")?;
@@ -292,6 +347,8 @@ fn run() -> Result<(), EnpropError> {
             if let Some(s) = parse_num(&args, "--slo-p95")? {
                 so.slo_p95_s = s;
             }
+            so.slo_p999_s = parse_num(&args, "--slo-p999")?;
+            so.live_report_s = parse_num(&args, "--live-report")?;
             if let Some(r) = parse_num(&args, "--repair")? {
                 so.repair_s = r;
             }

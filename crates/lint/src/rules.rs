@@ -39,6 +39,7 @@ pub const MODEL_CRATES: &[&str] = &[
     "clustersim",
     "workloads",
     "explore",
+    "obs",
 ];
 
 /// One lint rule: stable id (used in waivers and JSON), short code,

@@ -25,6 +25,12 @@ pub enum Track {
         /// Node index within its group.
         node: u16,
     },
+    /// One node *group* as a whole — per-group aggregates from the
+    /// observability plane (energy attribution, EP index, J/request).
+    Group {
+        /// Node-group index in the cluster spec.
+        group: u16,
+    },
 }
 
 impl Track {
@@ -37,6 +43,8 @@ impl Track {
             Track::Explore => 4,
             Track::Controller => 5,
             Track::Node { group, node } => 16 + u64::from(group) * 1024 + u64::from(node),
+            // Offset past the entire Node range (16 + 65535*1024 + 65535).
+            Track::Group { group } => (1 << 32) + u64::from(group),
         }
     }
 
@@ -49,6 +57,7 @@ impl Track {
             Track::Explore => "explore".into(),
             Track::Controller => "controller".into(),
             Track::Node { group, node } => format!("node g{group}.n{node}"),
+            Track::Group { group } => format!("group g{group}"),
         }
     }
 }
@@ -139,6 +148,12 @@ mod tests {
             Track::Node { group: 0, node: 0 },
             Track::Node { group: 0, node: 1 },
             Track::Node { group: 1, node: 0 },
+            Track::Group { group: 0 },
+            Track::Group { group: 1 },
+            Track::Node {
+                group: u16::MAX,
+                node: u16::MAX,
+            },
         ];
         for (i, a) in tracks.iter().enumerate() {
             for b in &tracks[i + 1..] {

@@ -191,6 +191,177 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
     out
 }
 
+/// Payload of a [`ParsedEvent`] — mirrors [`EventKind`] with owned data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParsedKind {
+    /// Span open.
+    Begin,
+    /// Span close.
+    End,
+    /// Point event with a value (`null`-valued instants parse as NaN-free 0).
+    Instant(f64),
+    /// Monotonic counter running total.
+    Counter(u64),
+    /// Sampled level.
+    Gauge(f64),
+    /// Per-component power sample, watts.
+    Power {
+        /// Active-core power.
+        cpu_act_w: f64,
+        /// Stalled-core power.
+        cpu_stall_w: f64,
+        /// Memory-controller power.
+        mem_w: f64,
+        /// NIC power.
+        net_w: f64,
+        /// System idle power.
+        idle_w: f64,
+    },
+}
+
+/// One event re-read from a JSONL trace: the owned counterpart of
+/// [`TraceEvent`] (track and name are strings because arbitrary traces
+/// are not limited to this build's static names).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedEvent {
+    /// Simulated time, seconds.
+    pub t_s: f64,
+    /// Track label as emitted (e.g. `"controller"`, `"group g0"`).
+    pub track: String,
+    /// Event name.
+    pub name: String,
+    /// Correlation id.
+    pub id: u64,
+    /// Payload.
+    pub kind: ParsedKind,
+}
+
+/// Extract the raw JSON value text for `key` from a flat one-line object.
+/// Only handles the shapes [`jsonl`] emits (no nested objects/arrays).
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    if let Some(inner) = rest.strip_prefix('"') {
+        let mut end = 0;
+        let bytes = inner.as_bytes();
+        while end < bytes.len() {
+            match bytes[end] {
+                b'\\' => end += 2,
+                b'"' => return Some(&inner[..end]),
+                _ => end += 1,
+            }
+        }
+        None
+    } else {
+        let end = rest
+            .find([',', '}'])
+            .unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if let Some(u) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                    out.push(u);
+                }
+            }
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+fn field_f64(line: &str, key: &str) -> Option<f64> {
+    let raw = field(line, key)?;
+    if raw == "null" {
+        return Some(f64::NAN);
+    }
+    raw.parse().ok()
+}
+
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    field(line, key)?.parse().ok()
+}
+
+/// Parse a JSONL trace produced by [`jsonl`] back into events. Lines that
+/// are blank or fail to parse are skipped (count them via the length
+/// delta if you need strictness); the happy path round-trips exactly.
+pub fn parse_jsonl(text: &str) -> Vec<ParsedEvent> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (Some(t_s), Some(track), Some(name), Some(id), Some(kind_s)) = (
+            field_f64(line, "t"),
+            field(line, "track"),
+            field(line, "name"),
+            field_u64(line, "id"),
+            field(line, "kind"),
+        ) else {
+            continue;
+        };
+        let kind = match kind_s {
+            "begin" => ParsedKind::Begin,
+            "end" => ParsedKind::End,
+            "instant" => match field_f64(line, "value") {
+                Some(v) => ParsedKind::Instant(v),
+                None => continue,
+            },
+            "counter" => match field_u64(line, "total") {
+                Some(v) => ParsedKind::Counter(v),
+                None => continue,
+            },
+            "gauge" => match field_f64(line, "value") {
+                Some(v) => ParsedKind::Gauge(v),
+                None => continue,
+            },
+            "power" => {
+                let (Some(ca), Some(cs), Some(m), Some(n), Some(i)) = (
+                    field_f64(line, "cpu_act_w"),
+                    field_f64(line, "cpu_stall_w"),
+                    field_f64(line, "mem_w"),
+                    field_f64(line, "net_w"),
+                    field_f64(line, "idle_w"),
+                ) else {
+                    continue;
+                };
+                ParsedKind::Power {
+                    cpu_act_w: ca,
+                    cpu_stall_w: cs,
+                    mem_w: m,
+                    net_w: n,
+                    idle_w: i,
+                }
+            }
+            _ => continue,
+        };
+        out.push(ParsedEvent {
+            t_s,
+            track: unescape(track),
+            name: unescape(name),
+            id,
+            kind,
+        });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,5 +446,50 @@ mod tests {
         let mut r = MemoryRecorder::new();
         r.gauge(0.0, Track::Queue, "g", f64::NAN);
         assert!(jsonl(r.events()).contains("\"value\":null"));
+    }
+
+    #[test]
+    fn parse_jsonl_round_trips_every_kind() {
+        let r = sample_events();
+        let text = jsonl(r.events());
+        let parsed = parse_jsonl(&text);
+        assert_eq!(parsed.len(), r.events().len());
+        assert_eq!(parsed[0].kind, ParsedKind::Begin);
+        assert_eq!(parsed[0].track, "cluster");
+        assert_eq!(parsed[0].name, "job");
+        assert_eq!(parsed[0].id, 7);
+        assert_eq!(parsed[1].kind, ParsedKind::Counter(1));
+        assert_eq!(parsed[2].kind, ParsedKind::Instant(1.0));
+        assert_eq!(parsed[2].track, "node g0.n1");
+        assert_eq!(parsed[3].kind, ParsedKind::Gauge(3.0));
+        assert_eq!(
+            parsed[4].kind,
+            ParsedKind::Power {
+                cpu_act_w: 2.0,
+                cpu_stall_w: 0.5,
+                mem_w: 0.7,
+                net_w: 0.1,
+                idle_w: 1.8,
+            }
+        );
+        assert_eq!(parsed[5].kind, ParsedKind::End);
+        assert_eq!(parsed[5].t_s, 2.0);
+    }
+
+    #[test]
+    fn parse_jsonl_skips_garbage_and_blank_lines() {
+        let text = "\nnot json\n{\"t\":1,\"track\":\"queue\",\"name\":\"x\",\
+                    \"id\":0,\"kind\":\"gauge\",\"value\":2}\n{\"t\":oops}\n";
+        let parsed = parse_jsonl(text);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].kind, ParsedKind::Gauge(2.0));
+    }
+
+    #[test]
+    fn parse_jsonl_unescapes_names() {
+        let mut r = MemoryRecorder::new();
+        r.instant(0.0, Track::Group { group: 3 }, "win.ep", 0.5);
+        let parsed = parse_jsonl(&jsonl(r.events()));
+        assert_eq!(parsed[0].track, "group g3");
     }
 }

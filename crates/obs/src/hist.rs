@@ -40,6 +40,7 @@ impl Histogram {
         if value <= 0.0 || !value.is_finite() {
             return 0; // zero, negative and non-finite all underflow
         }
+        // enprop-lint: allow(float-int-cast) -- log2 of a positive finite f64 lies in [-1075, 1024], well inside i32; the next line clamps into the bucket range
         let exp = value.log2().floor() as i32;
         (exp - MIN_EXP).clamp(0, BUCKETS as i32 - 1) as usize
     }
@@ -104,6 +105,7 @@ impl Histogram {
         if self.count == 0 {
             return None;
         }
+        // enprop-lint: allow(float-int-cast) -- q is clamped to [0,1], so the product is in [0, count] and ceil is an exact in-range rank
         let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0;
         for (i, &c) in self.counts.iter().enumerate() {

@@ -1,0 +1,258 @@
+//! Per-group energy attribution: joules charged to `(node group, outcome)`
+//! pairs, with an online energy-proportionality (EP) index and J/request
+//! per group.
+//!
+//! The EP index is the online form of the metrics crate's
+//! `energy_proportionality` (Ryckbosch et al., DESIGN.md §14):
+//!
+//! ```text
+//! EP = 1 − (E_actual − E_ideal) / E_ideal
+//! ```
+//!
+//! where `E_ideal` is the energy an ideally-proportional group would have
+//! spent — its busy time integrated at peak busy power, scaled by nothing
+//! else. EP = 1 means perfectly proportional; EP < 1 means idle/overhead
+//! energy was burned on top; EP > 1 is possible after a DVFS brownout
+//! (serving the same busy time below peak power — sub-linear).
+//!
+//! Charges are keyed in `BTreeMap`s so iteration order — and therefore
+//! every exported report — is deterministic.
+
+use std::collections::BTreeMap;
+
+/// What a parcel of energy was spent on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EnergyOutcome {
+    /// Busy energy of a request that ultimately completed.
+    Completed,
+    /// Busy energy of a dispatch that was torn down and retried elsewhere.
+    Retried,
+    /// Busy energy of a request that was ultimately shed.
+    Shed,
+    /// Powered-but-not-serving energy: idle, stalled, draining.
+    Idle,
+}
+
+impl EnergyOutcome {
+    /// Stable lower-case label used in exports and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            EnergyOutcome::Completed => "completed",
+            EnergyOutcome::Retried => "retried",
+            EnergyOutcome::Shed => "shed",
+            EnergyOutcome::Idle => "idle",
+        }
+    }
+
+    /// All outcomes in their canonical (Ord) order.
+    pub fn all() -> [EnergyOutcome; 4] {
+        [
+            EnergyOutcome::Completed,
+            EnergyOutcome::Retried,
+            EnergyOutcome::Shed,
+            EnergyOutcome::Idle,
+        ]
+    }
+}
+
+/// Attributes joules to `(group, outcome)` and tracks, per group, the
+/// ideal-proportional energy and completed-request count needed for the
+/// EP index and J/request.
+#[derive(Debug, Clone, Default)]
+pub struct EnergyLedger {
+    /// Joules by (group, outcome).
+    charges: BTreeMap<(u16, EnergyOutcome), f64>,
+    /// Ideal-proportional joules by group (busy time × peak busy power).
+    ideal_j: BTreeMap<u16, f64>,
+    /// Completed requests by group.
+    completed: BTreeMap<u16, u64>,
+}
+
+impl EnergyLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        EnergyLedger::default()
+    }
+
+    /// Charge `joules` of actual energy to `(group, outcome)`.
+    pub fn charge(&mut self, group: u16, outcome: EnergyOutcome, joules: f64) {
+        if joules <= 0.0 || !joules.is_finite() {
+            return;
+        }
+        *self.charges.entry((group, outcome)).or_insert(0.0) += joules;
+    }
+
+    /// Credit `joules` of *ideal-proportional* energy to `group` — busy
+    /// time at peak busy power, the denominator of the EP index.
+    pub fn charge_ideal(&mut self, group: u16, joules: f64) {
+        if joules <= 0.0 || !joules.is_finite() {
+            return;
+        }
+        *self.ideal_j.entry(group).or_insert(0.0) += joules;
+    }
+
+    /// Count one completed request against `group`.
+    pub fn complete_request(&mut self, group: u16) {
+        self.complete_requests(group, 1);
+    }
+
+    /// Count `n` completed requests against `group` at once (the batched
+    /// form callers on a hot path flush per window, not per request).
+    pub fn complete_requests(&mut self, group: u16, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.completed.entry(group).or_insert(0) += n;
+    }
+
+    /// Joules charged to `(group, outcome)`.
+    pub fn energy_j(&self, group: u16, outcome: EnergyOutcome) -> f64 {
+        self.charges.get(&(group, outcome)).copied().unwrap_or(0.0)
+    }
+
+    /// Total actual joules charged to `group` across all outcomes.
+    pub fn group_energy_j(&self, group: u16) -> f64 {
+        EnergyOutcome::all()
+            .iter()
+            .map(|&o| self.energy_j(group, o))
+            .sum()
+    }
+
+    /// Total actual joules across every group and outcome.
+    pub fn total_energy_j(&self) -> f64 {
+        self.charges.values().sum()
+    }
+
+    /// Completed requests attributed to `group`.
+    pub fn completed_requests(&self, group: u16) -> u64 {
+        self.completed.get(&group).copied().unwrap_or(0)
+    }
+
+    /// Joules per completed request for `group` (0 when none completed).
+    pub fn j_per_request(&self, group: u16) -> f64 {
+        let n = self.completed_requests(group);
+        if n == 0 {
+            0.0
+        } else {
+            self.group_energy_j(group) / n as f64
+        }
+    }
+
+    /// Online EP index for `group`: `1 − (E_actual − E_ideal) / E_ideal`.
+    ///
+    /// With no ideal energy recorded the group never did useful work:
+    /// EP = 1 if it also spent nothing, else 0.
+    pub fn ep_index(&self, group: u16) -> f64 {
+        let ideal = self.ideal_j.get(&group).copied().unwrap_or(0.0);
+        let actual = self.group_energy_j(group);
+        if ideal <= 0.0 {
+            return if actual <= 0.0 { 1.0 } else { 0.0 };
+        }
+        1.0 - (actual - ideal) / ideal
+    }
+
+    /// Groups with any charge, ascending.
+    pub fn groups(&self) -> Vec<u16> {
+        let mut gs: Vec<u16> = self.charges.keys().map(|&(g, _)| g).collect();
+        gs.extend(self.ideal_j.keys().copied());
+        gs.extend(self.completed.keys().copied());
+        gs.sort_unstable();
+        gs.dedup();
+        gs
+    }
+
+    /// Fold another ledger into this one (deterministic: key-wise sums).
+    pub fn merge(&mut self, other: &EnergyLedger) {
+        for (&k, &v) in &other.charges {
+            *self.charges.entry(k).or_insert(0.0) += v;
+        }
+        for (&g, &v) in &other.ideal_j {
+            *self.ideal_j.entry(g).or_insert(0.0) += v;
+        }
+        for (&g, &n) in &other.completed {
+            *self.completed.entry(g).or_insert(0) += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_by_group_and_outcome() {
+        let mut l = EnergyLedger::new();
+        l.charge(0, EnergyOutcome::Completed, 10.0);
+        l.charge(0, EnergyOutcome::Completed, 5.0);
+        l.charge(0, EnergyOutcome::Idle, 3.0);
+        l.charge(1, EnergyOutcome::Shed, 2.0);
+        assert_eq!(l.energy_j(0, EnergyOutcome::Completed), 15.0);
+        assert_eq!(l.energy_j(0, EnergyOutcome::Idle), 3.0);
+        assert_eq!(l.group_energy_j(0), 18.0);
+        assert_eq!(l.total_energy_j(), 20.0);
+        assert_eq!(l.groups(), [0, 1]);
+    }
+
+    #[test]
+    fn j_per_request_divides_by_completions() {
+        let mut l = EnergyLedger::new();
+        l.charge(2, EnergyOutcome::Completed, 40.0);
+        l.charge(2, EnergyOutcome::Idle, 10.0);
+        l.complete_request(2);
+        l.complete_request(2);
+        assert_eq!(l.j_per_request(2), 25.0);
+        assert_eq!(l.j_per_request(9), 0.0);
+    }
+
+    #[test]
+    fn ep_index_matches_the_formula() {
+        let mut l = EnergyLedger::new();
+        // Perfectly proportional: actual == ideal → EP = 1.
+        l.charge(0, EnergyOutcome::Completed, 100.0);
+        l.charge_ideal(0, 100.0);
+        assert!((l.ep_index(0) - 1.0).abs() < 1e-12);
+        // Idle overhead halves it: actual = 150, ideal = 100 → EP = 0.5.
+        l.charge(0, EnergyOutcome::Idle, 50.0);
+        assert!((l.ep_index(0) - 0.5).abs() < 1e-12);
+        // Sub-linear (brownout): actual 80 vs ideal 100 → EP = 1.2.
+        let mut b = EnergyLedger::new();
+        b.charge(1, EnergyOutcome::Completed, 80.0);
+        b.charge_ideal(1, 100.0);
+        assert!((b.ep_index(1) - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ep_index_degenerate_cases() {
+        let mut l = EnergyLedger::new();
+        assert_eq!(l.ep_index(0), 1.0); // nothing spent, nothing ideal
+        l.charge(0, EnergyOutcome::Idle, 5.0);
+        assert_eq!(l.ep_index(0), 0.0); // spent with zero useful work
+    }
+
+    #[test]
+    fn nonpositive_and_nonfinite_charges_are_ignored() {
+        let mut l = EnergyLedger::new();
+        l.charge(0, EnergyOutcome::Completed, -1.0);
+        l.charge(0, EnergyOutcome::Completed, f64::NAN);
+        l.charge(0, EnergyOutcome::Completed, 0.0);
+        l.charge_ideal(0, f64::INFINITY);
+        assert_eq!(l.total_energy_j(), 0.0);
+        assert!(l.groups().is_empty());
+    }
+
+    #[test]
+    fn merge_is_keywise_sum() {
+        let mut a = EnergyLedger::new();
+        a.charge(0, EnergyOutcome::Completed, 1.0);
+        a.complete_request(0);
+        let mut b = EnergyLedger::new();
+        b.charge(0, EnergyOutcome::Completed, 2.0);
+        b.charge(1, EnergyOutcome::Retried, 4.0);
+        b.charge_ideal(0, 3.0);
+        a.merge(&b);
+        assert_eq!(a.energy_j(0, EnergyOutcome::Completed), 3.0);
+        assert_eq!(a.energy_j(1, EnergyOutcome::Retried), 4.0);
+        assert_eq!(a.completed_requests(0), 1);
+        assert!((a.ep_index(0) - (1.0 - (3.0 - 3.0) / 3.0)).abs() < 1e-12);
+    }
+}

@@ -41,13 +41,19 @@
 mod event;
 mod export;
 mod hist;
+mod ledger;
 mod metrics;
 mod profile;
 mod recorder;
+mod sketch;
+mod window;
 
 pub use event::{EventKind, PowerSample, TraceEvent, Track};
-pub use export::{chrome_trace, jsonl};
+pub use export::{chrome_trace, jsonl, parse_jsonl, ParsedEvent, ParsedKind};
 pub use hist::Histogram;
+pub use ledger::{EnergyLedger, EnergyOutcome};
 pub use metrics::{MetricsSnapshot, SpanStats, METRICS_SCHEMA};
-pub use profile::{append_bench_record, BenchRecord, CommandTimer};
+pub use profile::{append_bench_record, peak_rss_kb, BenchRecord, CommandTimer};
 pub use recorder::{MemoryRecorder, NoopRecorder, Recorder, SwitchRecorder};
+pub use sketch::{QuantileSketch, DEFAULT_MAX_BUCKETS, DEFAULT_SKETCH_ALPHA};
+pub use window::{WindowStats, WindowedSeries};

@@ -17,10 +17,27 @@ pub struct BenchRecord {
     pub wall_ms: f64,
     /// RNG seed the command ran with.
     pub seed: u64,
+    /// Requests (or configs, jobs, …) processed per wall second, when the
+    /// command has a natural throughput unit.
+    pub req_per_s: Option<f64>,
+    /// Peak resident set size of the process, kibibytes (Linux VmHWM).
+    pub peak_rss_kb: Option<u64>,
 }
 
 impl BenchRecord {
-    /// One-line JSON form (JSONL append format).
+    /// A record with only the mandatory fields.
+    pub fn new(cmd: impl Into<String>, wall_ms: f64, seed: u64) -> Self {
+        BenchRecord {
+            cmd: cmd.into(),
+            wall_ms,
+            seed,
+            req_per_s: None,
+            peak_rss_kb: None,
+        }
+    }
+
+    /// One-line JSON form (JSONL append format). Optional fields are
+    /// emitted only when present, so older consumers keep parsing.
     pub fn to_json(&self) -> String {
         let mut cmd = String::with_capacity(self.cmd.len());
         for c in self.cmd.chars() {
@@ -32,10 +49,39 @@ impl BenchRecord {
         let mut out = String::new();
         let _ = write!(
             out,
-            "{{\"cmd\":\"{cmd}\",\"wall_ms\":{},\"seed\":{}}}",
+            "{{\"cmd\":\"{cmd}\",\"wall_ms\":{},\"seed\":{}",
             self.wall_ms, self.seed
         );
+        if let Some(r) = self.req_per_s {
+            let _ = write!(out, ",\"req_per_s\":{r}");
+        }
+        if let Some(k) = self.peak_rss_kb {
+            let _ = write!(out, ",\"peak_rss_kb\":{k}");
+        }
+        out.push('}');
         out
+    }
+}
+
+/// Peak resident set size of this process in kibibytes, read from
+/// `/proc/self/status` (`VmHWM`). `None` off Linux or when unreadable.
+pub fn peak_rss_kb() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                return rest
+                    .split_whitespace()
+                    .next()
+                    .and_then(|v| v.parse().ok());
+            }
+        }
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
     }
 }
 
@@ -60,11 +106,7 @@ impl CommandTimer {
 
     /// Stop and produce the record.
     pub fn finish(self) -> BenchRecord {
-        BenchRecord {
-            cmd: self.cmd,
-            wall_ms: self.start.elapsed().as_secs_f64() * 1e3,
-            seed: self.seed,
-        }
+        BenchRecord::new(self.cmd, self.start.elapsed().as_secs_f64() * 1e3, self.seed)
     }
 }
 
@@ -92,12 +134,28 @@ mod tests {
 
     #[test]
     fn record_json_is_one_object() {
-        let r = BenchRecord {
-            cmd: "fig11".into(),
-            wall_ms: 12.5,
-            seed: 3,
-        };
+        let r = BenchRecord::new("fig11", 12.5, 3);
         assert_eq!(r.to_json(), "{\"cmd\":\"fig11\",\"wall_ms\":12.5,\"seed\":3}");
+    }
+
+    #[test]
+    fn optional_fields_serialize_only_when_present() {
+        let mut r = BenchRecord::new("serve_replay.1m_chaos", 100.0, 7);
+        r.req_per_s = Some(1e6);
+        r.peak_rss_kb = Some(4096);
+        assert_eq!(
+            r.to_json(),
+            "{\"cmd\":\"serve_replay.1m_chaos\",\"wall_ms\":100,\"seed\":7,\
+             \"req_per_s\":1000000,\"peak_rss_kb\":4096}"
+        );
+    }
+
+    #[test]
+    fn peak_rss_is_reported_on_linux() {
+        if cfg!(target_os = "linux") {
+            let kb = peak_rss_kb().expect("VmHWM readable");
+            assert!(kb > 0);
+        }
     }
 
     #[test]
@@ -106,11 +164,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join(format!("bench-{}.jsonl", std::process::id()));
         let _ = std::fs::remove_file(&path);
-        let r = BenchRecord {
-            cmd: "t".into(),
-            wall_ms: 1.0,
-            seed: 0,
-        };
+        let r = BenchRecord::new("t", 1.0, 0);
         append_bench_record(&path, &r).unwrap();
         append_bench_record(&path, &r).unwrap();
         let body = std::fs::read_to_string(&path).unwrap();

@@ -57,6 +57,29 @@ pub struct ServeConfig {
     /// bounded-trace convention); accounting covers every request
     /// regardless.
     pub traced_requests: u64,
+    /// Optional p999 response-time objective, seconds. When set, a
+    /// breached p999 counts as an SLO breach in the control loop alongside
+    /// the p95 objective.
+    pub slo_p999_s: Option<f64>,
+    /// Observability-plane window length, virtual seconds. `0.0` disables
+    /// the plane entirely (no windowed gauges, burn monitor, or energy
+    /// attribution; the shed policy falls back to its raw p95 threshold).
+    pub obs_window_s: f64,
+    /// Relative accuracy of the plane's quantile sketches.
+    pub obs_alpha: f64,
+    /// Windows the plane retains (memory is O(windows × sketch buckets)).
+    pub obs_max_windows: usize,
+    /// Fast burn window, in plane windows (Prometheus-style multi-window
+    /// alerting; see DESIGN.md §14).
+    pub burn_fast_windows: u32,
+    /// Slow burn window, in plane windows.
+    pub burn_slow_windows: u32,
+    /// Burn rate above which (in both windows) the SLO alert fires and
+    /// shed mode may engage.
+    pub burn_threshold: f64,
+    /// Fast-window burn rate below which the alert clears and shed mode
+    /// exits.
+    pub burn_exit: f64,
 }
 
 impl ServeConfig {
@@ -78,6 +101,14 @@ impl ServeConfig {
             max_events: 0,
             scale_cooldown_ticks: 5,
             traced_requests: 512,
+            slo_p999_s: None,
+            obs_window_s: 1.0,
+            obs_alpha: 0.01,
+            obs_max_windows: 128,
+            burn_fast_windows: 1,
+            burn_slow_windows: 12,
+            burn_threshold: 2.0,
+            burn_exit: 1.0,
         }
     }
 
@@ -118,6 +149,56 @@ impl ServeConfig {
                 "must be ≥ 1 (the controller may never power off everything)",
             ));
         }
+        if let Some(p999) = self.slo_p999_s {
+            if !p999.is_finite() || p999 <= 0.0 {
+                return Err(EnpropError::invalid_parameter(
+                    "slo_p999_s",
+                    format!("must be finite and > 0 when set, got {p999}"),
+                ));
+            }
+        }
+        if !self.obs_window_s.is_finite() || self.obs_window_s < 0.0 {
+            return Err(EnpropError::invalid_parameter(
+                "obs_window_s",
+                format!("must be finite and ≥ 0 (0 = plane off), got {}", self.obs_window_s),
+            ));
+        }
+        if !self.obs_alpha.is_finite() || self.obs_alpha <= 0.0 || self.obs_alpha >= 0.5 {
+            return Err(EnpropError::invalid_parameter(
+                "obs_alpha",
+                format!("must be in (0, 0.5), got {}", self.obs_alpha),
+            ));
+        }
+        if self.obs_max_windows == 0 {
+            return Err(EnpropError::invalid_parameter(
+                "obs_max_windows",
+                "must be ≥ 1",
+            ));
+        }
+        if self.burn_fast_windows == 0 || self.burn_slow_windows == 0 {
+            return Err(EnpropError::invalid_parameter(
+                "burn windows",
+                "burn_fast_windows and burn_slow_windows must be ≥ 1",
+            ));
+        }
+        if !self.burn_threshold.is_finite() || self.burn_threshold <= 0.0 {
+            return Err(EnpropError::invalid_parameter(
+                "burn_threshold",
+                format!("must be finite and > 0, got {}", self.burn_threshold),
+            ));
+        }
+        if !self.burn_exit.is_finite()
+            || self.burn_exit <= 0.0
+            || self.burn_exit > self.burn_threshold
+        {
+            return Err(EnpropError::invalid_parameter(
+                "burn_exit",
+                format!(
+                    "must be in (0, burn_threshold = {}], got {}",
+                    self.burn_threshold, self.burn_exit
+                ),
+            ));
+        }
         Ok(())
     }
 }
@@ -153,6 +234,33 @@ mod tests {
 
         let mut c = ServeConfig::new(1);
         c.retry.timeout_factor = 0.5;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn obs_fields_are_validated() {
+        let mut c = ServeConfig::new(1);
+        c.obs_window_s = 0.0; // plane off is legal
+        assert!(c.validate().is_ok());
+        c.obs_window_s = -1.0;
+        assert!(c.validate().is_err());
+
+        let mut c = ServeConfig::new(1);
+        c.obs_alpha = 0.5;
+        assert!(c.validate().is_err());
+
+        let mut c = ServeConfig::new(1);
+        c.slo_p999_s = Some(0.0);
+        assert!(c.validate().is_err());
+        c.slo_p999_s = Some(1.0);
+        assert!(c.validate().is_ok());
+
+        let mut c = ServeConfig::new(1);
+        c.burn_exit = c.burn_threshold + 1.0;
+        assert!(c.validate().is_err());
+
+        let mut c = ServeConfig::new(1);
+        c.burn_slow_windows = 0;
         assert!(c.validate().is_err());
     }
 }

@@ -31,12 +31,12 @@ use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 use enprop_clustersim::ClusterSpec;
 use enprop_faults::{EnpropError, FaultKind, FaultPlan};
-use enprop_obs::{Recorder, Track};
-use enprop_queueing::exact_quantile;
+use enprop_obs::{EnergyOutcome, QuantileSketch, Recorder, Track};
 use enprop_workloads::{SingleNodeModel, Workload};
 
 use crate::arrivals::ArrivalSource;
 use crate::config::ServeConfig;
+use crate::plane::{ObsPlane, WindowReport};
 use crate::report::ServeReport;
 
 /// Controller-visible node admission state (the reconfiguration state
@@ -85,6 +85,9 @@ struct Req {
 struct Running {
     req: u64,
     remaining_ops: f64,
+    /// Busy joules integrated into this request so far — attributed to
+    /// its outcome (completed/retried/shed) when its fate resolves.
+    energy_j: f64,
 }
 
 #[derive(Debug)]
@@ -105,6 +108,12 @@ struct Node {
     /// Accounting frontier: energy/progress integrated up to here.
     acct_t: f64,
     energy_j: f64,
+    /// Joules accrued since the last plane flush (busy / ideal / idle) —
+    /// the hot `advance` path adds to these plain fields and the plane
+    /// sees them batched per window roll, not per advance.
+    win_busy_j: f64,
+    win_ideal_j: f64,
+    win_idle_j: f64,
     /// An un-closed `node.down` span is open on this node's track.
     down_span_open: bool,
 }
@@ -118,6 +127,9 @@ struct GroupModel {
     busy_w_at: Vec<f64>,
     idle_w: f64,
     freq_idx: usize,
+    /// Peak busy power across DVFS levels — the ideal-proportionality
+    /// reference of the EP index (DESIGN.md §14).
+    peak_busy_w: f64,
 }
 
 #[derive(Debug, Clone)]
@@ -191,13 +203,21 @@ pub struct Controller<'a> {
     shed_entries: u64,
     cooldown: u32,
 
-    // Per-tick measurement window.
-    window_resp: Vec<f64>,
+    // Per-tick measurement window (bounded-memory sketch, reset per tick).
+    tick_sketch: QuantileSketch,
     window_arrival_ops: f64,
 
-    // Run-level accounting.
-    all_resp: Vec<f64>,
+    // Run-level accounting (bounded-memory sketch; `exact_quantile` stays
+    // as the test oracle, never as run state).
+    run_sketch: QuantileSketch,
     resp_sum: f64,
+
+    /// The windowed observability plane (`None` when `obs_window_s == 0`).
+    plane: Option<ObsPlane>,
+    /// Cached [`ObsPlane::next_close_s`] (`f64::INFINITY` with the plane
+    /// off): the per-event roll guard is one float compare instead of an
+    /// `Option` probe into the plane struct.
+    plane_next_close_s: f64,
     arrivals: u64,
     completions: u64,
     shed_admission: u64,
@@ -228,11 +248,26 @@ impl<'a> Controller<'a> {
         source: &mut ArrivalSource,
         rec: &mut R,
     ) -> Result<ServeReport, EnpropError> {
+        Controller::run_live(workload, cluster, plan, cfg, source, rec, &mut |_| {})
+    }
+
+    /// [`Controller::run`], additionally invoking `live` with every
+    /// closed [`WindowReport`] as the plane tumbles — the `--live-report`
+    /// hook. `live` never fires when `obs_window_s == 0`.
+    pub fn run_live<R: Recorder>(
+        workload: &Workload,
+        cluster: &ClusterSpec,
+        plan: &'a FaultPlan,
+        cfg: &'a ServeConfig,
+        source: &mut ArrivalSource,
+        rec: &mut R,
+        live: &mut dyn FnMut(&WindowReport),
+    ) -> Result<ServeReport, EnpropError> {
         cfg.validate()?;
         plan.validate()?;
         let mut c = Controller::new(workload, cluster, plan, cfg)?;
         c.bootstrap(source, rec);
-        c.event_loop(source, rec)
+        c.event_loop(source, rec, live)
     }
 
     fn new(
@@ -293,14 +328,19 @@ impl<'a> Controller<'a> {
                     epoch: 0,
                     acct_t: 0.0,
                     energy_j: 0.0,
+                    win_busy_j: 0.0,
+                    win_ideal_j: 0.0,
+                    win_idle_j: 0.0,
                     down_span_open: false,
                 });
             }
+            let peak_busy_w = busy_w_at.iter().copied().fold(0.0_f64, f64::max);
             groups.push(GroupModel {
                 rate_at,
                 busy_w_at,
                 idle_w: g.spec.power.sys_idle_w,
                 freq_idx,
+                peak_busy_w,
             });
         }
         if nodes.is_empty() {
@@ -308,6 +348,7 @@ impl<'a> Controller<'a> {
                 workload: workload.name.to_string(),
             });
         }
+        let n_groups = groups.len();
         Ok(Controller {
             cfg,
             plan,
@@ -325,10 +366,28 @@ impl<'a> Controller<'a> {
             shed_mode: false,
             shed_entries: 0,
             cooldown: 0,
-            window_resp: Vec::new(),
+            tick_sketch: QuantileSketch::new(cfg.obs_alpha),
             window_arrival_ops: 0.0,
-            all_resp: Vec::new(),
+            run_sketch: QuantileSketch::new(cfg.obs_alpha),
             resp_sum: 0.0,
+            plane: (cfg.obs_window_s > 0.0).then(|| {
+                ObsPlane::new(
+                    cfg.obs_window_s,
+                    cfg.obs_alpha,
+                    cfg.obs_max_windows,
+                    n_groups,
+                    cfg.slo_p95_s,
+                    cfg.burn_fast_windows,
+                    cfg.burn_slow_windows,
+                    cfg.burn_threshold,
+                    cfg.burn_exit,
+                )
+            }),
+            plane_next_close_s: if cfg.obs_window_s > 0.0 {
+                cfg.obs_window_s
+            } else {
+                f64::INFINITY
+            },
             arrivals: 0,
             completions: 0,
             shed_admission: 0,
@@ -411,6 +470,7 @@ impl<'a> Controller<'a> {
         &mut self,
         source: &mut ArrivalSource,
         rec: &mut R,
+        live: &mut dyn FnMut(&WindowReport),
     ) -> Result<ServeReport, EnpropError> {
         let mut forced = false;
         while !self.done() {
@@ -423,6 +483,7 @@ impl<'a> Controller<'a> {
             };
             debug_assert!(ev.t >= self.now, "time went backwards");
             self.now = ev.t;
+            self.roll_plane(rec, live);
             self.events += 1;
             if self.events > self.event_budget() {
                 return Err(EnpropError::EventBudgetExceeded {
@@ -450,7 +511,43 @@ impl<'a> Controller<'a> {
                 }
             }
         }
-        Ok(self.finish(forced, rec))
+        Ok(self.finish(forced, rec, live))
+    }
+
+    /// Close every plane window that ended at or before `self.now`. All
+    /// nodes are advanced first so their energy deposits land before the
+    /// window emits (per-window power is accurate to one inter-event gap).
+    fn roll_plane<R: Recorder>(&mut self, rec: &mut R, live: &mut dyn FnMut(&WindowReport)) {
+        if self.now < self.plane_next_close_s {
+            return;
+        }
+        for i in 0..self.nodes.len() {
+            self.advance(i);
+        }
+        self.flush_window_energy();
+        if let Some(p) = &mut self.plane {
+            p.roll_to(self.now, rec, live);
+            self.plane_next_close_s = p.next_close_s();
+        }
+    }
+
+    /// Drain every node's since-last-flush energy accumulators into the
+    /// plane's current window. Called with all nodes advanced to `now`,
+    /// immediately before windows close (and at shutdown).
+    fn flush_window_energy(&mut self) {
+        let Some(p) = &mut self.plane else { return };
+        for n in &mut self.nodes {
+            let group = u16::try_from(n.group).unwrap_or(u16::MAX);
+            if n.win_busy_j > 0.0 {
+                p.busy_energy(group, n.win_busy_j, n.win_ideal_j);
+                n.win_busy_j = 0.0;
+                n.win_ideal_j = 0.0;
+            }
+            if n.win_idle_j > 0.0 {
+                p.idle_energy(group, n.win_idle_j);
+                n.win_idle_j = 0.0;
+            }
+        }
     }
 
     // ---- node accounting -------------------------------------------------
@@ -479,14 +576,25 @@ impl<'a> Controller<'a> {
                 }
             }
         };
-        n.energy_j += dt * power;
+        let joules = dt * power;
+        let ideal_joules = if busy { dt * g.peak_busy_w } else { 0.0 };
+        n.energy_j += joules;
         if busy {
             let rate = g.rate_at[g.freq_idx] / n.slowdown;
             if let Some(cur) = &mut n.current {
                 cur.remaining_ops = (cur.remaining_ops - dt * rate).max(0.0);
+                cur.energy_j += joules;
             }
         }
         n.acct_t = now;
+        if joules > 0.0 && self.plane.is_some() {
+            if busy {
+                n.win_busy_j += joules;
+                n.win_ideal_j += ideal_joules;
+            } else {
+                n.win_idle_j += joules;
+            }
+        }
     }
 
     /// (Re-)schedule node `i`'s completion from its current state; bumps
@@ -520,6 +628,7 @@ impl<'a> Controller<'a> {
         n.current = Some(Running {
             req,
             remaining_ops: ops,
+            energy_j: 0.0,
         });
         self.reschedule_completion(i);
     }
@@ -571,11 +680,17 @@ impl<'a> Controller<'a> {
         self.arrivals += 1;
         self.window_arrival_ops += ops;
         rec.tally("serve.arrivals", 1);
+        if let Some(p) = &mut self.plane {
+            p.on_arrival();
+        }
         let id = self.next_req_id;
         self.next_req_id += 1;
         if self.shed_mode || self.inflight.len() >= self.cfg.max_inflight {
             self.shed_admission += 1;
             rec.tally("serve.shed", 1);
+            if let Some(p) = &mut self.plane {
+                p.on_shed();
+            }
         } else {
             let traced = id < self.cfg.traced_requests;
             if traced {
@@ -691,10 +806,15 @@ impl<'a> Controller<'a> {
             let resp = self.now - r.arrived;
             self.completions += 1;
             self.resp_sum += resp;
-            self.window_resp.push(resp);
-            self.all_resp.push(resp);
+            let key = self.run_sketch.key_for(resp);
+            self.tick_sketch.observe_keyed(resp, key);
+            self.run_sketch.observe_keyed(resp, key);
             rec.tally("serve.completions", 1);
             rec.observe("serve.response_s", resp);
+            let group = u16::try_from(self.nodes[i].group).unwrap_or(u16::MAX);
+            if let Some(p) = &mut self.plane {
+                p.on_completion(resp, group, key, cur.energy_j);
+            }
             if r.traced {
                 rec.span_end(self.now, Track::Dispatcher, "request", cur.req);
             }
@@ -716,7 +836,8 @@ impl<'a> Controller<'a> {
         let (attempt, traced) = (r.attempt, r.traced);
         self.timeouts += 1;
         rec.tally("serve.timeouts", 1);
-        self.remove_from_node(i, req);
+        let reclaimed_j = self.remove_from_node(i, req);
+        let group = u16::try_from(self.nodes[i].group).unwrap_or(u16::MAX);
         // A timeout is evidence: if the node really is dead, declare it
         // down now instead of waiting for the next health sweep.
         if self.nodes[i].crashed && matches!(self.nodes[i].admin, Admin::Active | Admin::Draining)
@@ -726,11 +847,18 @@ impl<'a> Controller<'a> {
         if attempt >= self.cfg.retry.max_retries {
             self.shed_retry += 1;
             rec.tally("serve.shed", 1);
+            if let Some(p) = &mut self.plane {
+                p.on_shed();
+                p.attribute(group, EnergyOutcome::Shed, reclaimed_j);
+            }
             if traced {
                 rec.span_end(self.now, Track::Dispatcher, "request", req);
             }
             self.inflight.remove(&req);
             return;
+        }
+        if let Some(p) = &mut self.plane {
+            p.attribute(group, EnergyOutcome::Retried, reclaimed_j);
         }
         if let Some(r) = self.inflight.get_mut(&req) {
             r.attempt += 1;
@@ -755,21 +883,24 @@ impl<'a> Controller<'a> {
     }
 
     /// Take `req` off node `i`'s queue or current slot (no accounting of
-    /// outcome — callers decide retry vs shed).
-    fn remove_from_node(&mut self, i: usize, req: u64) {
+    /// outcome — callers decide retry vs shed). Returns the busy joules
+    /// the evicted attempt had accumulated (0 when it was only queued) so
+    /// the caller can attribute them.
+    fn remove_from_node(&mut self, i: usize, req: u64) -> f64 {
         self.advance(i);
         let ops = self.inflight.get(&req).map_or(0.0, |r| r.ops);
         let n = &mut self.nodes[i];
         if n.current.as_ref().is_some_and(|c| c.req == req) {
-            n.current = None;
+            let reclaimed_j = n.current.take().map_or(0.0, |c| c.energy_j);
             n.epoch += 1;
             self.start_next(i);
-            return;
+            return reclaimed_j;
         }
         if let Some(pos) = n.queue.iter().position(|&q| q == req) {
             n.queue.remove(pos);
             n.queued_ops = (n.queued_ops - ops).max(0.0);
         }
+        0.0
     }
 
     // ---- fault path ------------------------------------------------------
@@ -877,12 +1008,18 @@ impl<'a> Controller<'a> {
         n.admin = Admin::Down;
         n.epoch += 1;
         let mut work: Vec<u64> = Vec::with_capacity(n.queue.len() + 1);
+        let mut reclaimed_j = 0.0;
         if let Some(cur) = n.current.take() {
             work.push(cur.req);
+            reclaimed_j = cur.energy_j;
         }
         work.extend(n.queue.drain(..));
         n.queued_ops = 0.0;
         n.down_span_open = true;
+        let group = u16::try_from(n.group).unwrap_or(u16::MAX);
+        if let Some(p) = &mut self.plane {
+            p.attribute(group, EnergyOutcome::Retried, reclaimed_j);
+        }
         let track = self.node_track(i);
         rec.span_begin(self.now, track, "node.down", i as u64);
         rec.counter(self.now, Track::Controller, "ctl.node_down", 1);
@@ -922,7 +1059,8 @@ impl<'a> Controller<'a> {
 
     fn on_control_tick<R: Recorder>(&mut self, rec: &mut R) {
         let power = self.power_now();
-        let p95 = exact_quantile(&self.window_resp, 0.95);
+        let p95 = self.tick_sketch.quantile(0.95);
+        let p999 = self.tick_sketch.quantile(0.999);
         rec.gauge(self.now, Track::Controller, "ctl.power_w", power);
         if let Some(p) = p95 {
             rec.gauge(self.now, Track::Controller, "ctl.p95_s", p);
@@ -939,8 +1077,8 @@ impl<'a> Controller<'a> {
             "ctl.pending",
             self.pending.len() as f64,
         );
-        self.decide(power, p95, rec);
-        self.window_resp.clear();
+        self.decide(power, p95, p999, rec);
+        self.tick_sketch = QuantileSketch::new(self.cfg.obs_alpha);
         self.window_arrival_ops = 0.0;
         self.cooldown = self.cooldown.saturating_sub(1);
         self.flush_pending();
@@ -950,7 +1088,13 @@ impl<'a> Controller<'a> {
     /// One reconfiguration decision per tick, in priority order: power cap
     /// (brownout) > SLO breach (scale up, then shed) > energy
     /// proportionality (scale down under sustained headroom).
-    fn decide<R: Recorder>(&mut self, power: f64, p95: Option<f64>, rec: &mut R) {
+    fn decide<R: Recorder>(
+        &mut self,
+        power: f64,
+        p95: Option<f64>,
+        p999: Option<f64>,
+        rec: &mut R,
+    ) {
         // 0. Nothing admitted but work outstanding: re-admit a parked node
         // immediately (Down nodes come back via repair instead).
         if self.admitted_count() == 0 && !self.inflight.is_empty() {
@@ -965,23 +1109,36 @@ impl<'a> Controller<'a> {
             return;
         }
         // 2. SLO breach: capacity first, shedding as the last resort.
-        let over_slo = p95.is_some_and(|p| p > self.cfg.slo_p95_s);
-        if over_slo {
+        let over_p95 = p95.is_some_and(|p| p > self.cfg.slo_p95_s);
+        let over_p999 = self
+            .cfg
+            .slo_p999_s
+            .is_some_and(|slo| p999.is_some_and(|p| p > slo));
+        if over_p95 || over_p999 {
             if self.activate_one(rec) || self.dvfs_step_up(power, rec) {
                 self.cooldown = self.cfg.scale_cooldown_ticks;
                 return;
             }
-            if !self.shed_mode {
+            // Capacity is exhausted. With the obs plane on, shedding is
+            // gated on the multi-window burn-rate alert (a one-tick spike
+            // no longer flips shed mode); without it, shed immediately as
+            // the legacy controller did.
+            let want_shed = self.plane.as_ref().is_none_or(ObsPlane::burn_alert);
+            if !self.shed_mode && want_shed {
                 self.set_shed(true, rec);
             }
             return;
         }
-        // Exit shed mode once the window p95 recovers (or everything
-        // drained with no samples left to judge by).
+        // Exit shed mode once the burn rate (or, with the plane off, the
+        // window p95) recovers — or everything drained with no samples
+        // left to judge by.
         if self.shed_mode {
-            let recovered = match p95 {
-                Some(p) => p < SHED_EXIT_P95_FRACTION * self.cfg.slo_p95_s,
-                None => self.inflight.is_empty(),
+            let recovered = match &self.plane {
+                Some(pl) => pl.burn_fast() < self.cfg.burn_exit,
+                None => match p95 {
+                    Some(p) => p < SHED_EXIT_P95_FRACTION * self.cfg.slo_p95_s,
+                    None => self.inflight.is_empty(),
+                },
             };
             if recovered {
                 self.set_shed(false, rec);
@@ -1167,9 +1324,30 @@ impl<'a> Controller<'a> {
 
     // ---- shutdown --------------------------------------------------------
 
-    fn finish<R: Recorder>(&mut self, forced: bool, rec: &mut R) -> ServeReport {
+    fn finish<R: Recorder>(
+        &mut self,
+        forced: bool,
+        rec: &mut R,
+        live: &mut dyn FnMut(&WindowReport),
+    ) -> ServeReport {
         for i in 0..self.nodes.len() {
             self.advance(i);
+        }
+        self.flush_window_energy();
+        // Energy still held by in-flight attempts resolves as Retried:
+        // the work was real but no completion will ever claim it.
+        for i in 0..self.nodes.len() {
+            if let Some(cur) = self.nodes[i].current.take() {
+                let group = u16::try_from(self.nodes[i].group).unwrap_or(u16::MAX);
+                if let Some(p) = &mut self.plane {
+                    p.attribute(group, EnergyOutcome::Retried, cur.energy_j);
+                }
+            }
+        }
+        if let Some(mut p) = self.plane.take() {
+            p.roll_to(self.now, rec, live);
+            p.finish(rec, live);
+            self.plane = Some(p);
         }
         // Span balance at shutdown: every open span closes here.
         for (&id, r) in &self.inflight {
@@ -1218,9 +1396,10 @@ impl<'a> Controller<'a> {
             } else {
                 nan
             },
-            p50_s: exact_quantile(&self.all_resp, 0.50).unwrap_or(nan),
-            p95_s: exact_quantile(&self.all_resp, 0.95).unwrap_or(nan),
-            p99_s: exact_quantile(&self.all_resp, 0.99).unwrap_or(nan),
+            p50_s: self.run_sketch.quantile(0.50).unwrap_or(nan),
+            p95_s: self.run_sketch.quantile(0.95).unwrap_or(nan),
+            p99_s: self.run_sketch.quantile(0.99).unwrap_or(nan),
+            p999_s: self.run_sketch.quantile(0.999).unwrap_or(nan),
             events: self.events,
             forced_stop: forced,
         }

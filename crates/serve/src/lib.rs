@@ -33,6 +33,7 @@ pub mod arrivals;
 pub mod chaos;
 pub mod config;
 pub mod controller;
+pub mod plane;
 pub mod report;
 pub mod trace;
 
@@ -40,5 +41,6 @@ pub use arrivals::{Arrival, ArrivalModel, ArrivalSource, SyntheticArrivals};
 pub use chaos::{chaos_sweep, spans_balanced, sweep_plan, ChaosOutcome, PlanOutcome};
 pub use config::ServeConfig;
 pub use controller::{cluster_capacity_ops_s, default_ops_per_request, Controller};
+pub use plane::{GroupWindow, ObsPlane, WindowReport};
 pub use report::ServeReport;
 pub use trace::{format_trace, parse_trace, ReplayCursor};

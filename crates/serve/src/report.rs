@@ -62,6 +62,10 @@ pub struct ServeReport {
     /// 99th-percentile response time, seconds (`NaN` when nothing
     /// completed).
     pub p99_s: f64,
+    /// 99.9th-percentile response time, seconds (`NaN` when nothing
+    /// completed). Sourced from the bounded-memory sketch, accurate to
+    /// the documented relative-error bound (DESIGN.md §14).
+    pub p999_s: f64,
     /// Discrete events processed (the livelock guard's measure).
     pub events: u64,
     /// True when the drain deadline force-stopped the run with work still

@@ -2,7 +2,7 @@
 # `./scripts/verify.sh` is the no-just fallback.
 
 # Build, test and lint the whole workspace (warnings are errors).
-verify: && obs-smoke perf-smoke serve-smoke
+verify: && obs-smoke perf-smoke serve-smoke obs-query-smoke
     cargo build --release --workspace --offline
     cargo test -q --workspace --offline
     cargo clippy --workspace --all-targets --offline -- -D warnings
@@ -42,6 +42,32 @@ serve-smoke:
     printf '%s\n' "$out" | grep -q "conservation: OK"
     cargo run --release -p enprop-bench --bin serve_replay --offline
     echo "serve-smoke: OK"
+
+# Observability-plane gate (DESIGN.md §14): record a chaos replay as a
+# raw JSONL trace, drive `enprop obs` over it (the per-window report
+# must carry the tail and energy columns and per-group rows; the trace
+# query must resolve sketch quantiles), then run the obs_window bench —
+# the windowed plane may cost at most 10% over the plane-off baseline.
+obs-query-smoke:
+    #!/usr/bin/env sh
+    set -eu
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' EXIT
+    cargo run --release -p enprop-cli --offline -- replay \
+        --trace examples/replay_trace.jsonl \
+        --mtbf 6 --stall 2 --slowdown 3 --repair 5 --seed 7 \
+        --trace-out "$tmp/serve.jsonl" >/dev/null
+    report="$(cargo run --release -p enprop-cli --offline -- obs report \
+        --trace "$tmp/serve.jsonl")"
+    printf '%s\n' "$report" | grep -q p999_s
+    printf '%s\n' "$report" | grep -q j_per_req
+    printf '%s\n' "$report" | grep -q burn_fast
+    printf '%s\n' "$report" | grep -q ' g0 '
+    query="$(cargo run --release -p enprop-cli --offline -- obs query \
+        --trace "$tmp/serve.jsonl" --name win.p99_s --quantiles win.p99_s)"
+    printf '%s\n' "$query" | grep -q 'p99.9'
+    cargo run --release -p enprop-bench --bin obs_window --offline
+    echo "obs-query-smoke: OK"
 
 # Fast signal while iterating.
 check:

@@ -33,4 +33,17 @@ serve_out="$(./target/release/enprop replay --trace examples/replay_trace.jsonl 
 printf '%s\n' "$serve_out"
 printf '%s\n' "$serve_out" | grep -q "conservation: OK"
 cargo run --release -p enprop-bench --bin serve_replay --offline
+echo "==> obs query smoke (windowed report + trace query + plane overhead gate)"
+./target/release/enprop replay --trace examples/replay_trace.jsonl \
+    --mtbf 6 --stall 2 --slowdown 3 --repair 5 --seed 7 \
+    --trace-out "$obs_tmp/serve.jsonl" >/dev/null
+obs_report="$(./target/release/enprop obs report --trace "$obs_tmp/serve.jsonl")"
+printf '%s\n' "$obs_report" | grep -q p999_s
+printf '%s\n' "$obs_report" | grep -q j_per_req
+printf '%s\n' "$obs_report" | grep -q burn_fast
+printf '%s\n' "$obs_report" | grep -q ' g0 '
+obs_query="$(./target/release/enprop obs query --trace "$obs_tmp/serve.jsonl" \
+    --name win.p99_s --quantiles win.p99_s)"
+printf '%s\n' "$obs_query" | grep -q 'p99.9'
+cargo run --release -p enprop-bench --bin obs_window --offline
 echo "verify: OK"
