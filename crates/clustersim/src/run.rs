@@ -112,7 +112,7 @@ impl<'a> ClusterSim<'a> {
                 .try_profile(g.spec.name)
                 .expect("profiles validated at construction");
             let sim = NodeSim::new(profile.spec.clone());
-            let node_ops = self.split.ops_per_node[gi] * ops;
+            let node_ops = self.split.ops_frac[gi] * ops;
             let work = self.workload.node_work(profile, node_ops);
             for ni in 0..g.count {
                 let node_seed = seed
@@ -512,7 +512,7 @@ impl ClusterSim<'_> {
         let mut surviving_rate = 0.0;
         for (gi, g) in self.cluster.groups.iter().enumerate() {
             for _ in 0..g.count {
-                let share_ops = self.split.ops_per_node[gi] * self.workload.ops_per_job;
+                let share_ops = self.split.ops_frac[gi] * self.workload.ops_per_job;
                 if rng.gen::<f64>() < p_fail {
                     failures += 1;
                     lost_ops += share_ops * rng.gen::<f64>();
@@ -816,7 +816,7 @@ impl ClusterSim<'_> {
                         alive[r.group] -= 1;
                         let t = t.min(nominal_finish);
                         let frac = if nominal_finish > 0.0 { t / nominal_finish } else { 1.0 };
-                        let share_ops = self.split.ops_per_node[r.group] * ops;
+                        let share_ops = self.split.ops_frac[r.group] * ops;
                         lost_ops += share_ops * (1.0 - frac);
                         outcomes.push(NodeOutcome {
                             busy_end: t,

@@ -10,8 +10,9 @@ use enprop_workloads::{SingleNodeModel, Workload};
 /// How a job's operations are divided across the cluster.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkSplit {
-    /// Operations assigned to *each node* of group `i`.
-    pub ops_per_node: Vec<f64>,
+    /// Fraction of the job's operations assigned to *each node* of group
+    /// `i` (its rate's share of the cluster rate) — dimensionless.
+    pub ops_frac: Vec<f64>,
     /// Modeled execution rate of one node of group `i`, ops/s.
     pub node_rate: Vec<f64>,
     /// Total cluster execution rate, ops/s.
@@ -42,8 +43,8 @@ pub fn try_rate_matched_split(
 /// the per-node fractions, weighted by survivor counts, still sum to 1, so
 /// re-dispatching a failed node's shard under this split loses nothing.
 ///
-/// `ops_per_node[i]` is the share for each **surviving** node of group
-/// `i`; groups with zero survivors get a share of 0.
+/// `ops_frac[i]` is the fractional share for each **surviving** node of
+/// group `i`; groups with zero survivors get a share of 0.
 pub fn try_rate_matched_split_surviving(
     workload: &Workload,
     cluster: &ClusterSpec,
@@ -80,9 +81,9 @@ pub fn try_rate_matched_split_surviving(
             workload: workload.name.to_string(),
         });
     }
-    let ops_per_node = node_rate.iter().map(|r| r / cluster_rate).collect();
+    let ops_frac = node_rate.iter().map(|r| r / cluster_rate).collect();
     Ok(WorkSplit {
-        ops_per_node,
+        ops_frac,
         node_rate,
         cluster_rate,
     })
@@ -110,7 +111,7 @@ mod tests {
         let c = ClusterSpec::a9_k10(32, 12);
         let s = rate_matched_split(&w, &c);
         let total: f64 = s
-            .ops_per_node
+            .ops_frac
             .iter()
             .zip(&c.groups)
             .map(|(share, g)| share * g.count as f64)
@@ -126,7 +127,7 @@ mod tests {
         let ops = w.ops_per_job;
         // time for a node of group i = assigned ops / its rate
         let times: Vec<f64> = s
-            .ops_per_node
+            .ops_frac
             .iter()
             .zip(&s.node_rate)
             .filter(|(_, r)| **r > 0.0)
@@ -144,7 +145,7 @@ mod tests {
         let c = ClusterSpec::a9_k10(1, 1);
         let s = rate_matched_split(&w, &c);
         // K10 runs EP ~6.6× faster per node than A9 (Table 6 inversion).
-        assert!(s.ops_per_node[1] > 4.0 * s.ops_per_node[0]);
+        assert!(s.ops_frac[1] > 4.0 * s.ops_frac[0]);
     }
 
     #[test]
@@ -152,7 +153,7 @@ mod tests {
         let w = catalog::by_name("EP").unwrap();
         let c = ClusterSpec::a9_k10(8, 0);
         let s = rate_matched_split(&w, &c);
-        assert!((s.ops_per_node[0] - 1.0 / 8.0).abs() < 1e-12);
+        assert!((s.ops_frac[0] - 1.0 / 8.0).abs() < 1e-12);
     }
 
     #[test]
@@ -192,7 +193,7 @@ mod tests {
         let alive = [7u32, 2u32];
         let s = try_rate_matched_split_surviving(&w, &c, &alive).unwrap();
         let total: f64 = s
-            .ops_per_node
+            .ops_frac
             .iter()
             .zip(&alive)
             .map(|(share, &n)| share * n as f64)

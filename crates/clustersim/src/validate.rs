@@ -36,7 +36,7 @@ pub fn try_model_prediction(
         }
         let profile = workload.try_profile(g.spec.name)?;
         let model = SingleNodeModel::new(&profile.spec, &profile.demand, workload.io_rate);
-        let node_ops = split.ops_per_node[gi] * ops;
+        let node_ops = split.ops_frac[gi] * ops;
         energy += g.count as f64 * model.energy(node_ops, g.cores, g.freq).total();
     }
     Ok(ModelPrediction { time, energy })

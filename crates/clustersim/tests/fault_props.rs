@@ -85,14 +85,14 @@ proptest! {
         prop_assume!(alive[0] + alive[1] > 0);
         let s = try_rate_matched_split_surviving(&w, &c, &alive).unwrap();
         let total: f64 = s
-            .ops_per_node
+            .ops_frac
             .iter()
             .zip(&alive)
             .map(|(share, &n)| share * n as f64)
             .sum();
         prop_assert!((total - 1.0).abs() < 1e-9, "shares sum to {}", total);
         // Dead groups carry no share; the aggregate rate is additive.
-        for (share, &n) in s.ops_per_node.iter().zip(&alive) {
+        for (share, &n) in s.ops_frac.iter().zip(&alive) {
             if n == 0 {
                 prop_assert_eq!(*share, 0.0);
             }

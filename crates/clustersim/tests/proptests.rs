@@ -31,7 +31,7 @@ proptest! {
         let c = ClusterSpec::a9_k10(a9, k10);
         let s = rate_matched_split(&w, &c);
         let total: f64 = s
-            .ops_per_node
+            .ops_frac
             .iter()
             .zip(&c.groups)
             .map(|(share, g)| share * g.count as f64)

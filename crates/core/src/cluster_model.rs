@@ -111,7 +111,7 @@ impl ClusterModel {
                 .expect("profiles validated at construction");
             let model = SingleNodeModel::new(&profile.spec, &profile.demand, self.workload.io_rate);
             let energy_per_op = model.energy(1.0, g.cores, g.freq).total();
-            let node_ops = self.split.ops_per_node[gi] * ops;
+            let node_ops = self.split.ops_frac[gi] * ops;
             energy += g.count as f64 * (node_ops * energy_per_op);
         }
         energy

@@ -43,7 +43,7 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct NodePoint {
     /// Modeled execution rate of one node, ops/s.
-    rate: f64,
+    rate_ops_s: f64,
     /// Modeled energy of one op on one node, joules.
     energy_per_op: f64,
 }
@@ -142,7 +142,7 @@ impl EvalCache {
             .unwrap_or_else(|e| panic!("{e}"));
         let model = SingleNodeModel::new(&profile.spec, &profile.demand, workload.io_rate);
         let p = NodePoint {
-            rate: model.throughput(cores, freq),
+            rate_ops_s: model.throughput(cores, freq),
             energy_per_op: model.energy(1.0, cores, freq).total(),
         };
         inner.misses += 1;
@@ -159,38 +159,38 @@ impl EvalCache {
     /// calibrated profile, mirroring `ClusterModel::new`.
     pub fn evaluate(&self, workload: &Workload, cluster: ClusterSpec) -> EvaluatedConfig {
         // Mirrors try_rate_matched_split_surviving with every node alive.
-        let mut node_rate = Vec::with_capacity(cluster.groups.len());
-        let mut cluster_rate = 0.0;
+        let mut node_rate_ops_s = Vec::with_capacity(cluster.groups.len());
+        let mut cluster_rate_ops_s = 0.0;
         for g in &cluster.groups {
             if g.count == 0 {
-                node_rate.push(0.0);
+                node_rate_ops_s.push(0.0);
                 continue;
             }
             let p = self.point(workload, g.spec.name, g.cores, g.freq);
-            node_rate.push(p.rate);
-            cluster_rate += g.count as f64 * p.rate;
+            node_rate_ops_s.push(p.rate_ops_s);
+            cluster_rate_ops_s += g.count as f64 * p.rate_ops_s;
         }
         assert!(
-            cluster_rate > 0.0,
+            cluster_rate_ops_s > 0.0,
             "workload {} has no capacity on an empty cluster",
             workload.name
         );
         let ops = workload.ops_per_job;
-        let job_time = ops / cluster_rate;
+        let job_time_s = ops / cluster_rate_ops_s;
         // Mirrors ClusterModel::job_energy's per-op composition.
-        let mut job_energy = 0.0;
+        let mut job_energy_j = 0.0;
         for (gi, g) in cluster.groups.iter().enumerate() {
             if g.count == 0 {
                 continue;
             }
             let p = self.point(workload, g.spec.name, g.cores, g.freq);
-            let node_ops = (node_rate[gi] / cluster_rate) * ops;
-            job_energy += g.count as f64 * (node_ops * p.energy_per_op);
+            let node_ops = (node_rate_ops_s[gi] / cluster_rate_ops_s) * ops;
+            job_energy_j += g.count as f64 * (node_ops * p.energy_per_op);
         }
-        let busy_power_w = job_energy / job_time;
+        let busy_power_w = job_energy_j / job_time_s;
         EvaluatedConfig {
-            job_time,
-            job_energy,
+            job_time: job_time_s,
+            job_energy: job_energy_j,
             busy_power_w,
             idle_power_w: cluster.idle_w(),
             nameplate_w: cluster.nameplate_w(),

@@ -27,13 +27,26 @@ pub enum TokKind {
     Punct,
 }
 
-/// One source token with its 1-based position.
+/// One source token with its 1-based position and byte-accurate span.
 #[derive(Debug, Clone)]
 pub struct Token {
     pub kind: TokKind,
     pub text: String,
     pub line: u32,
     pub col: u32,
+    /// Byte offset of the token's first byte in the source.
+    pub lo: u32,
+    /// Byte offset one past the token's last byte.
+    pub hi: u32,
+}
+
+impl Token {
+    /// True when `next` starts exactly where `self` ends — used to join
+    /// multi-character operators (`==`, `+=`, `::` …) that the lexer
+    /// emits as adjacent single-character puncts.
+    pub fn touches(&self, next: &Token) -> bool {
+        self.hi == next.lo
+    }
 }
 
 /// One comment (line or block), keyed to the line it starts on.
@@ -55,6 +68,7 @@ struct Cursor {
     i: usize,
     line: u32,
     col: u32,
+    byte: u32,
 }
 
 impl Cursor {
@@ -65,6 +79,7 @@ impl Cursor {
     fn bump(&mut self) -> Option<char> {
         let c = self.chars.get(self.i).copied()?;
         self.i += 1;
+        self.byte += c.len_utf8() as u32;
         if c == '\n' {
             self.line += 1;
             self.col = 1;
@@ -92,11 +107,14 @@ pub fn lex(src: &str) -> Lexed {
         i: 0,
         line: 1,
         col: 1,
+        byte: 0,
     };
     let mut out = Lexed::default();
 
     while let Some(c) = cur.peek(0) {
         let (line, col) = (cur.line, cur.col);
+        let lo = cur.byte;
+        let n_before = out.tokens.len();
         if c.is_whitespace() {
             cur.bump();
         } else if c == '/' && cur.peek(1) == Some('/') {
@@ -130,7 +148,17 @@ pub fn lex(src: &str) -> Lexed {
                 text: c.to_string(),
                 line,
                 col,
+                lo: 0,
+                hi: 0,
             });
+        }
+        // Every branch pushes at most one token; stamp its byte span from
+        // the position captured before the branch consumed anything.
+        if out.tokens.len() > n_before {
+            if let Some(t) = out.tokens.last_mut() {
+                t.lo = lo;
+                t.hi = cur.byte;
+            }
         }
     }
     out
@@ -211,6 +239,8 @@ fn string_literal(cur: &mut Cursor, out: &mut Lexed, line: u32, col: u32) {
         text,
         line,
         col,
+        lo: 0,
+        hi: 0,
     });
 }
 
@@ -256,6 +286,8 @@ fn raw_string(cur: &mut Cursor, out: &mut Lexed, line: u32, col: u32) {
         text,
         line,
         col,
+        lo: 0,
+        hi: 0,
     });
 }
 
@@ -286,6 +318,8 @@ fn char_literal(cur: &mut Cursor, out: &mut Lexed, line: u32, col: u32) {
         text,
         line,
         col,
+        lo: 0,
+        hi: 0,
     });
 }
 
@@ -312,6 +346,8 @@ fn char_or_lifetime(cur: &mut Cursor, out: &mut Lexed, line: u32, col: u32) {
                 text,
                 line,
                 col,
+                lo: 0,
+                hi: 0,
             });
             return;
         }
@@ -380,6 +416,8 @@ fn number(cur: &mut Cursor, out: &mut Lexed, line: u32, col: u32) {
         text,
         line,
         col,
+        lo: 0,
+        hi: 0,
     });
 }
 
@@ -393,6 +431,8 @@ fn ident(cur: &mut Cursor, out: &mut Lexed, line: u32, col: u32) {
         text,
         line,
         col,
+        lo: 0,
+        hi: 0,
     });
 }
 

@@ -24,10 +24,15 @@
 
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod dims;
 pub mod lexer;
+pub mod locks;
 pub mod report;
 pub mod rules;
 pub mod scan;
+pub mod spine;
+pub mod tree;
+pub mod units;
 
-pub use rules::{lint_source, FileReport, Finding, Rule, RULES};
+pub use rules::{lint_source, FileReport, Finding, Rule, WaiverRecord, RULES};
 pub use scan::{collect_rs_files, find_workspace_root, scan_workspace, Report};

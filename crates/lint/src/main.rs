@@ -2,8 +2,11 @@
 //! violations the compiler cannot see.
 //!
 //! ```text
-//! enprop-lint [--json] [--root DIR] [--list-rules] [--explain RULE]
+//! enprop-lint [waivers] [--json] [--root DIR] [--list-rules] [--explain RULE]
 //! ```
+//!
+//! The `waivers` subcommand lists every active waiver with its rule, site,
+//! reason, and whether it still suppresses anything.
 //!
 //! Exit codes (aligned with the `enprop` CLI's typed codes): **0** clean,
 //! **1** findings reported, **2** invalid usage or I/O error.
@@ -12,13 +15,15 @@ use enprop_lint::{report, scan};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: enprop-lint [--json] [--root DIR] [--list-rules] [--explain RULE]";
+const USAGE: &str =
+    "usage: enprop-lint [waivers] [--json] [--root DIR] [--list-rules] [--explain RULE]";
 
 struct Args {
     json: bool,
     root: Option<PathBuf>,
     list_rules: bool,
     explain: Option<String>,
+    waivers: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -27,10 +32,12 @@ fn parse_args() -> Result<Args, String> {
         root: None,
         list_rules: false,
         explain: None,
+        waivers: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
+            "waivers" => args.waivers = true,
             "--json" => args.json = true,
             "--root" => {
                 let dir = it.next().ok_or("--root requires a directory")?;
@@ -91,6 +98,9 @@ fn main() -> ExitCode {
         }
     };
 
+    // Wall-clock here is CI telemetry for the lint-runtime budget, not sim
+    // state; the `wall-clock` rule scopes to simulation crates only.
+    let started = std::time::Instant::now();
     let rep = match scan::scan_workspace(&root) {
         Ok(r) => r,
         Err(e) => {
@@ -98,9 +108,14 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let scan_ms = started.elapsed().as_millis();
 
+    if args.waivers {
+        print!("{}", report::render_waivers(&rep));
+        return ExitCode::SUCCESS;
+    }
     if args.json {
-        print!("{}", report::render_json(&rep));
+        print!("{}", report::render_json(&rep, scan_ms));
     } else {
         print!("{}", report::render_text(&rep));
     }

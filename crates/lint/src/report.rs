@@ -45,27 +45,75 @@ pub fn render_text(report: &Report) -> String {
 }
 
 fn finding_json(f: &Finding) -> String {
+    let dims = match &f.dims {
+        Some((lhs, rhs)) => format!(
+            ",\"dims\":{{\"lhs\":\"{}\",\"rhs\":\"{}\"}}",
+            escape(lhs),
+            escape(rhs)
+        ),
+        None => String::new(),
+    };
     format!(
-        "{{\"rule\":\"{}\",\"code\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
+        "{{\"rule\":\"{}\",\"code\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"{}}}",
         escape(f.rule),
         escape(f.code),
         escape(&f.path),
         f.line,
         f.col,
-        escape(&f.message)
+        escape(&f.message),
+        dims
     )
 }
 
 /// The machine format consumed by `scripts/verify.sh`. Schema marker
-/// `enprop-lint-v1` mirrors the obs metrics export convention.
-pub fn render_json(report: &Report) -> String {
+/// `enprop-lint-v2` (v1 plus per-finding `dims` annotations, the waiver
+/// table, and scan timing) mirrors the obs metrics export convention.
+pub fn render_json(report: &Report, scan_ms: u128) -> String {
     let findings: Vec<String> = report.findings.iter().map(finding_json).collect();
+    let waivers: Vec<String> = report
+        .waivers
+        .iter()
+        .map(|w| {
+            format!(
+                "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"reason\":\"{}\",\"used\":{}}}",
+                escape(&w.rule),
+                escape(&w.path),
+                w.line,
+                escape(&w.reason),
+                w.used
+            )
+        })
+        .collect();
     format!(
-        "{{\"format\":\"enprop-lint-v1\",\"files_scanned\":{},\"waived\":{},\"findings\":[{}]}}\n",
+        "{{\"format\":\"enprop-lint-v2\",\"files_scanned\":{},\"waived\":{},\"scan_ms\":{},\"findings\":[{}],\"waivers\":[{}]}}\n",
         report.files_scanned,
         report.waived,
-        findings.join(",")
+        scan_ms,
+        findings.join(","),
+        waivers.join(",")
     )
+}
+
+/// The `waivers` subcommand: every active waiver with rule, site, reason
+/// and whether it still suppresses anything.
+pub fn render_waivers(report: &Report) -> String {
+    let mut out = String::new();
+    for w in &report.waivers {
+        let status = if w.used { "active" } else { "STALE" };
+        let _ = writeln!(
+            out,
+            "{}:{}: allow({}) [{}] -- {}",
+            w.path, w.line, w.rule, status, w.reason
+        );
+    }
+    let stale = report.waivers.iter().filter(|w| !w.used).count();
+    let _ = writeln!(
+        out,
+        "enprop-lint: {} waiver(s), {} stale",
+        report.waivers.len(),
+        stale
+    );
+    out
 }
 
 /// The `--explain <rule>` page: summary, scope, rationale, waiver recipe.

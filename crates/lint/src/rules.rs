@@ -23,6 +23,19 @@ pub enum Scope {
     SimOrModel,
     /// Every scanned file.
     Workspace,
+    /// The lock-discipline surface: the vendored `rayon` stub (the one
+    /// vendored crate we own the locking behavior of), the `obs` crate,
+    /// and the explore result cache — the only places the workspace takes
+    /// locks. Path-based, not crate-based, because `vendor/` is otherwise
+    /// out of scope.
+    Locks,
+}
+
+/// Is `rel_path` part of the lock-discipline surface ([`Scope::Locks`])?
+pub fn lock_scope(rel_path: &str) -> bool {
+    rel_path.starts_with("vendor/rayon/")
+        || crate_of(rel_path) == "obs"
+        || rel_path == "crates/explore/src/cache.rs"
 }
 
 /// Crates whose state drives discrete-event simulation: any
@@ -129,6 +142,66 @@ pub const RULES: &[Rule] = &[
                     zero sentinels (`sigma == 0.0` guards) are exact by construction.",
     },
     Rule {
+        id: "unit-add",
+        code: "U001",
+        scope: Scope::SimOrModel,
+        summary: "`+`/`-` over operands of unlike physical dimensions",
+        rationale: "Identifier suffixes (`_j`, `_w`, `_s`, `_ops`, `_j_per_op`, …) claim \
+                    dimensions on the lattice over (J, s, ops, B); adding joules to watts \
+                    is the energy-accounting bug the type system cannot see. Inference is \
+                    charitable — unsuffixed names unify with anything — so every report \
+                    is backed by two explicit unit claims.",
+    },
+    Rule {
+        id: "unit-assign",
+        code: "U002",
+        scope: Scope::SimOrModel,
+        summary: "value of one dimension assigned/returned into a binding suffixed as another",
+        rationale: "`let dt_s = power_w;`, `n.energy_j += p_w` and `fn total_j` returning \
+                    `W` each break the suffix contract readers and downstream math rely \
+                    on. Either the name or the expression is wrong; fix whichever lies. \
+                    `*=`/`/=` are exempt (scaling changes dimension by design).",
+    },
+    Rule {
+        id: "unit-cmp",
+        code: "U003",
+        scope: Scope::SimOrModel,
+        summary: "comparison (`<`, `==`, `min`/`max`/`clamp`) across unlike dimensions",
+        rationale: "Ordering joules against watts type-checks and always returns *some* \
+                    boolean, which is how threshold guards silently compare energy to \
+                    power after a refactor. Both sides of a comparison must share a \
+                    dimension or leave it unstated.",
+    },
+    Rule {
+        id: "unit-opaque",
+        code: "U004",
+        scope: Scope::SimOrModel,
+        summary: "suffixed binding initialized from a product of unsuffixed names",
+        rationale: "`let energy_j = p * dt;` claims joules from factors that claim \
+                    nothing — the single most common place a dropped `/ dt_s` or a \
+                    W-for-J swap hides. Suffix the factors so inference can verify the \
+                    claim, or waive with the conversion spelled out in the reason.",
+    },
+    Rule {
+        id: "lock-reenter",
+        code: "C001",
+        scope: Scope::Locks,
+        summary: "lock acquired while its own guard is still held",
+        rationale: "parking_lot mutexes are not reentrant: re-locking on the same thread \
+                    — directly, or through a same-file helper that locks — deadlocks at \
+                    run time with no compiler diagnostic. Drop the guard first (or pass \
+                    it down) before anything that takes the lock again.",
+    },
+    Rule {
+        id: "lock-order",
+        code: "C002",
+        scope: Scope::Locks,
+        summary: "two locks acquired in both orders within one function",
+        rationale: "Acquiring `a` then `b` on one path and `b` then `a` on another is \
+                    the canonical deadlock-by-interleaving. Pick one acquisition order \
+                    per function and keep every path on it.",
+    },
+    Rule {
         id: "waiver-syntax",
         code: "W001",
         scope: Scope::Workspace,
@@ -137,6 +210,16 @@ pub const RULES: &[Rule] = &[
                     `// enprop-lint: allow(rule-id) -- reason`. A typo'd waiver that \
                     silently fails to suppress (or suppresses nothing) hides intent.",
     },
+    Rule {
+        id: "stale-waiver",
+        code: "W002",
+        scope: Scope::Workspace,
+        summary: "well-formed waiver that suppresses no finding",
+        rationale: "Waivers are point-in-time justifications. When the code they \
+                    excused is gone, the leftover comment licenses a *future* violation \
+                    on that line unreviewed. Delete stale waivers; `enprop-lint waivers` \
+                    lists every active one with its reason.",
+    },
 ];
 
 /// Look up a rule by its stable id.
@@ -144,12 +227,18 @@ pub fn rule_by_id(id: &str) -> Option<&'static Rule> {
     RULES.iter().find(|r| r.id == id)
 }
 
-fn scope_applies(scope: Scope, krate: &str) -> bool {
+fn scope_applies(scope: Scope, krate: &str, rel_path: &str) -> bool {
+    // Vendored code is not ours to hold to sim/model hygiene — only the
+    // lock rules (whose scope names vendor/rayon explicitly) apply there.
+    if rel_path.starts_with("vendor/") {
+        return scope == Scope::Locks && lock_scope(rel_path);
+    }
     match scope {
         Scope::Sim => SIM_CRATES.contains(&krate),
         Scope::Model => MODEL_CRATES.contains(&krate),
         Scope::SimOrModel => SIM_CRATES.contains(&krate) || MODEL_CRATES.contains(&krate),
         Scope::Workspace => true,
+        Scope::Locks => lock_scope(rel_path),
     }
 }
 
@@ -162,6 +251,10 @@ pub struct Finding {
     pub line: u32,
     pub col: u32,
     pub message: String,
+    /// Dimension annotation for U-rule findings: `(lhs, rhs)` rendered
+    /// through the lattice's canonical names (`"J"`, `"W"`, `"ops/s"`,
+    /// `"?"` for unknown). `None` for non-dimensional rules.
+    pub dims: Option<(String, String)>,
 }
 
 /// A parsed waiver comment (the grammar is spelled out in
@@ -170,6 +263,18 @@ pub struct Finding {
 struct Waiver {
     rule: String,
     line: u32,
+    reason: String,
+}
+
+/// A waiver as reported outward: what it allows, where, why, and whether
+/// it suppressed anything this scan (`used == false` ⇒ a W002 finding).
+#[derive(Debug, Clone)]
+pub struct WaiverRecord {
+    pub rule: String,
+    pub path: String,
+    pub line: u32,
+    pub reason: String,
+    pub used: bool,
 }
 
 const WAIVER_MARKER: &str = "enprop-lint:";
@@ -192,6 +297,7 @@ fn parse_waivers(comments: &[Comment], path: &str, findings: &mut Vec<Finding>) 
                 line: c.line,
                 col: 1,
                 message: format!("{msg}; expected `enprop-lint: allow(rule-id) -- reason`"),
+                dims: None,
             });
         };
         let Some(rest) = directive.strip_prefix("allow(") else {
@@ -216,6 +322,7 @@ fn parse_waivers(comments: &[Comment], path: &str, findings: &mut Vec<Finding>) 
         waivers.push(Waiver {
             rule: rule.to_string(),
             line: c.line,
+            reason: reason.to_string(),
         });
     }
     waivers
@@ -226,6 +333,14 @@ fn parse_waivers(comments: &[Comment], path: &str, findings: &mut Vec<Finding>) 
 pub struct FileReport {
     pub findings: Vec<Finding>,
     pub waived: usize,
+    /// Every well-formed waiver in the file, used or not.
+    pub waivers: Vec<WaiverRecord>,
+}
+
+/// Does waiver `w` suppress finding `f`? Same line, or the line directly
+/// above.
+fn suppresses(w: &Waiver, f: &Finding) -> bool {
+    w.rule == f.rule && (w.line == f.line || w.line + 1 == f.line)
 }
 
 /// Lint one file's source. `rel_path` is workspace-relative with `/`
@@ -240,7 +355,7 @@ pub fn lint_source(rel_path: &str, src: &str) -> FileReport {
     let toks = &lexed.tokens;
     for (i, t) in toks.iter().enumerate() {
         for rule in RULES {
-            if !scope_applies(rule.scope, krate) {
+            if !scope_applies(rule.scope, krate, rel_path) {
                 continue;
             }
             if let Some(message) = match_rule(rule.id, toks, i, t) {
@@ -251,20 +366,95 @@ pub fn lint_source(rel_path: &str, src: &str) -> FileReport {
                     line: t.line,
                     col: t.col,
                     message,
+                    dims: None,
                 });
             }
         }
     }
 
-    // A waiver on the finding's line or the line directly above suppresses it.
-    let (kept, waived): (Vec<Finding>, Vec<Finding>) = findings.into_iter().partition(|f| {
-        !waivers
-            .iter()
-            .any(|w| w.rule == f.rule && (w.line == f.line || w.line + 1 == f.line))
-    });
+    // The structural passes run over the token tree.
+    let needs_dims = scope_applies(Scope::SimOrModel, krate, rel_path);
+    let needs_locks = scope_applies(Scope::Locks, krate, rel_path);
+    if needs_dims || needs_locks {
+        let trees = crate::tree::build(toks);
+        if needs_dims {
+            findings.extend(crate::dims::check(rel_path, &trees));
+        }
+        if needs_locks {
+            findings.extend(crate::locks::check(rel_path, src, &trees));
+        }
+    }
+
+    // Waiver application, tracking which waivers earned their keep.
+    let mut used = vec![false; waivers.len()];
+    let mut kept = Vec::new();
+    let mut waived = 0usize;
+    for f in findings {
+        let mut hit = false;
+        for (wi, w) in waivers.iter().enumerate() {
+            if suppresses(w, &f) {
+                used[wi] = true;
+                hit = true;
+            }
+        }
+        if hit {
+            waived += 1;
+        } else {
+            kept.push(f);
+        }
+    }
+
+    // W002: a well-formed waiver that suppressed nothing is itself a
+    // finding — waivable in turn by a `stale-waiver` waiver (a deliberate
+    // "this fires only under feature X" escape hatch).
+    let mut stale = Vec::new();
+    for (wi, w) in waivers.iter().enumerate() {
+        if used[wi] || w.rule == "stale-waiver" {
+            continue;
+        }
+        stale.push(Finding {
+            rule: "stale-waiver",
+            code: "W002",
+            path: rel_path.to_string(),
+            line: w.line,
+            col: 1,
+            message: format!(
+                "waiver for `{}` suppresses nothing; delete it (reason was: {})",
+                w.rule, w.reason
+            ),
+            dims: None,
+        });
+    }
+    for f in stale {
+        let mut hit = false;
+        for (wi, w) in waivers.iter().enumerate() {
+            if w.rule == "stale-waiver" && suppresses(w, &f) {
+                used[wi] = true;
+                hit = true;
+            }
+        }
+        if hit {
+            waived += 1;
+        } else {
+            kept.push(f);
+        }
+    }
+
+    let records = waivers
+        .into_iter()
+        .zip(used)
+        .map(|(w, used)| WaiverRecord {
+            rule: w.rule,
+            path: rel_path.to_string(),
+            line: w.line,
+            reason: w.reason,
+            used,
+        })
+        .collect();
     FileReport {
         findings: kept,
-        waived: waived.len(),
+        waived,
+        waivers: records,
     }
 }
 

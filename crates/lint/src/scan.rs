@@ -5,15 +5,21 @@
 //! only. `vendor/` (offline dependency stubs), `target/` (build output),
 //! and dot-directories are excluded explicitly — vendored code is not ours
 //! to lint, and scanning build artifacts would double-report generated
-//! copies of real sources.
+//! copies of real sources. One carve-out: `vendor/rayon` *is* walked,
+//! because the lock-discipline rules (C001/C002) own its locking behavior;
+//! `rules::scope_applies` guarantees vendored files see only those rules.
 
-use crate::rules::{lint_source, Finding};
+use crate::rules::{lint_source, Finding, WaiverRecord};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
 /// Directory names never descended into, anywhere in the tree.
 pub const EXCLUDED_DIRS: &[&str] = &["vendor", "target"];
+
+/// Subdirectories of excluded directories that are walked anyway (the
+/// lock-rule surface inside `vendor/`).
+pub const INCLUDED_VENDOR: &[&str] = &["rayon"];
 
 /// Aggregate result of a workspace scan.
 #[derive(Debug, Default)]
@@ -24,6 +30,9 @@ pub struct Report {
     pub waived: usize,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Every well-formed waiver in the workspace, sorted by (path, line);
+    /// `used == false` entries correspond to W002 findings.
+    pub waivers: Vec<WaiverRecord>,
 }
 
 /// Recursively collect the workspace's `.rs` files under `root`, skipping
@@ -46,6 +55,15 @@ pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
                 .unwrap_or_default();
             if path.is_dir() {
                 if EXCLUDED_DIRS.contains(&name) || name.starts_with('.') {
+                    // The lock-rule surface inside vendor/ is still walked.
+                    if name == "vendor" {
+                        for sub in INCLUDED_VENDOR {
+                            let sub = path.join(sub);
+                            if sub.is_dir() {
+                                stack.push(sub);
+                            }
+                        }
+                    }
                     continue;
                 }
                 stack.push(path);
@@ -73,11 +91,15 @@ pub fn scan_workspace(root: &Path) -> io::Result<Report> {
         let file = lint_source(&rel, &src);
         report.findings.extend(file.findings);
         report.waived += file.waived;
+        report.waivers.extend(file.waivers);
         report.files_scanned += 1;
     }
     report
         .findings
         .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    report
+        .waivers
+        .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
     Ok(report)
 }
 

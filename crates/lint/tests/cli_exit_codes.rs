@@ -40,9 +40,29 @@ fn seeded_violation_exits_one_with_json() {
     let out = bin().args(["--json", "--root"]).arg(&root).output().unwrap();
     assert_eq!(out.status.code(), Some(1), "{out:?}");
     let stdout = String::from_utf8(out.stdout).unwrap();
-    assert!(stdout.contains("\"format\":\"enprop-lint-v1\""), "{stdout}");
+    assert!(stdout.contains("\"format\":\"enprop-lint-v2\""), "{stdout}");
+    assert!(stdout.contains("\"scan_ms\":"), "{stdout}");
     assert!(stdout.contains("\"rule\":\"unseeded-rng\""), "{stdout}");
     assert!(stdout.contains("\"path\":\"crates/nodesim/src/lib.rs\""), "{stdout}");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn waivers_subcommand_lists_sites() {
+    let root = fixture("waivers", false);
+    fs::write(
+        root.join("crates/nodesim/src/extra.rs"),
+        "// enprop-lint: allow(unseeded-rng) -- fixture waiver for CLI test\n\
+         fn g() { let mut r = thread_rng(); }\n",
+    )
+    .unwrap();
+    let out = bin().args(["waivers", "--root"]).arg(&root).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let listing = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        listing.contains("allow(unseeded-rng) [active] -- fixture waiver for CLI test"),
+        "{listing}"
+    );
     let _ = fs::remove_dir_all(&root);
 }
 
@@ -59,11 +79,28 @@ fn rule_docs_are_reachable() {
     let out = bin().arg("--list-rules").output().unwrap();
     assert_eq!(out.status.code(), Some(0));
     let listing = String::from_utf8(out.stdout).unwrap();
-    for code in ["D001", "D002", "D003", "D004", "N001", "N002", "N003", "N004", "W001"] {
+    #[rustfmt::skip]
+    let codes = [
+        "D001", "D002", "D003", "D004",
+        "N001", "N002", "N003", "N004",
+        "U001", "U002", "U003", "U004",
+        "C001", "C002",
+        "W001", "W002",
+    ];
+    for code in codes {
         assert!(listing.contains(code), "missing {code} in --list-rules");
     }
     let out = bin().args(["--explain", "float-int-cast"]).output().unwrap();
     assert_eq!(out.status.code(), Some(0));
     let page = String::from_utf8(out.stdout).unwrap();
     assert!(page.contains("N001") && page.contains("waiver"), "{page}");
+    // Every rule id in the catalogue has a working --explain page, the
+    // new U/C/W rules included.
+    for rule in enprop_lint::RULES {
+        let out = bin().args(["--explain", rule.id]).output().unwrap();
+        assert_eq!(out.status.code(), Some(0), "--explain {} failed", rule.id);
+        let page = String::from_utf8(out.stdout).unwrap();
+        assert!(page.contains(rule.code), "--explain {} lacks {}", rule.id, rule.code);
+        assert!(!rule.rationale.is_empty());
+    }
 }

@@ -45,17 +45,41 @@ fn new_pipeline_files_are_scanned_and_clean() {
 }
 
 #[test]
-fn vendored_pool_stays_out_of_scope() {
+fn vendored_pool_sees_only_lock_rules() {
     // The rayon pool uses std::thread and blocking primitives by design;
-    // it must stay under the `vendor/` exclusion rather than accrete
-    // waivers.
+    // the hygiene rules must not reach it. It *is* walked now — but only
+    // for the lock-discipline rules (C001/C002), whose Locks scope names
+    // vendor/rayon explicitly. Every other vendored crate stays excluded.
     let root = workspace_root();
     let pool = root.join("vendor/rayon/src/lib.rs");
     assert!(pool.is_file(), "the vendored pool moved");
     let scanned = collect_rs_files(root).unwrap();
     assert!(
-        !scanned.iter().any(|p| p.starts_with(root.join("vendor"))),
-        "vendor/ leaked into the lint scan"
+        scanned.contains(&pool),
+        "vendor/rayon must be walked for the lock rules"
+    );
+    assert!(
+        !scanned
+            .iter()
+            .any(|p| p.starts_with(root.join("vendor")) && !p.starts_with(root.join("vendor/rayon"))),
+        "a non-rayon vendor crate leaked into the lint scan"
+    );
+    // A determinism violation in the vendored pool must NOT report: only
+    // lock rules apply there.
+    let fixture = "fn f() { let t = Instant::now(); let mut r = thread_rng(); }\n";
+    let rep = lint_source("vendor/rayon/src/lib.rs", fixture);
+    assert!(
+        rep.findings.is_empty(),
+        "hygiene rules leaked into vendor/rayon: {:?}",
+        rep.findings
+    );
+    // …while a lock-discipline violation does.
+    let fixture = "fn f(&self) { let g = self.inner.lock(); self.inner.lock().push(1); }\n";
+    let rep = lint_source("vendor/rayon/src/lib.rs", fixture);
+    assert!(
+        rep.findings.iter().any(|f| f.code == "C001"),
+        "lock rules must reach vendor/rayon: {:?}",
+        rep.findings
     );
 }
 

@@ -268,10 +268,12 @@ fn waiver_syntax_positive() {
 
 #[test]
 fn waiver_syntax_negative() {
-    // A well-formed waiver is fine even if nothing fires under it.
+    // A well-formed waiver is syntactically fine, but if nothing fires
+    // under it the stale-waiver pass (W002) names it dead weight.
     let src = "// enprop-lint: allow(wall-clock) -- documented example\nfn f() {}";
     let rep = lint_source(OUT, src);
-    assert!(rep.findings.is_empty());
+    assert_eq!(rep.findings.len(), 1);
+    assert_eq!(rep.findings[0].rule, "stale-waiver");
     assert_eq!(rep.waived, 0);
     // Ordinary comments never parse as waivers.
     let src = "// the linter (see crates/lint) checks this file\nfn f() {}";
@@ -280,12 +282,242 @@ fn waiver_syntax_negative() {
 
 #[test]
 fn waiver_only_suppresses_its_own_rule_and_line() {
-    // A wall-clock waiver does not silence an unseeded-rng finding.
+    // A wall-clock waiver does not silence an unseeded-rng finding — and
+    // having suppressed nothing, it is itself flagged stale.
     let src = "fn f() {\n    // enprop-lint: allow(wall-clock) -- wrong rule on purpose\n    let mut r = thread_rng();\n}";
-    assert_eq!(rules_hit(SIM, src), ["unseeded-rng"]);
+    let mut hit = rules_hit(SIM, src);
+    hit.sort_unstable();
+    assert_eq!(hit, ["stale-waiver", "unseeded-rng"]);
     // A waiver two lines above the violation is out of range.
     let src = "fn f() {\n    // enprop-lint: allow(unseeded-rng) -- too far away\n\n    let mut r = thread_rng();\n}";
-    assert_eq!(rules_hit(SIM, src), ["unseeded-rng"]);
+    let mut hit = rules_hit(SIM, src);
+    hit.sort_unstable();
+    assert_eq!(hit, ["stale-waiver", "unseeded-rng"]);
+}
+
+// ------------------------------------------------------------------ unit-add
+
+#[test]
+fn unit_add_positive() {
+    let src = "fn f() { let x = energy_j + idle_w; }";
+    assert_eq!(rules_hit(MODEL, src), ["unit-add"]);
+    // Fires in sim crates too (SimOrModel scope), and on subtraction.
+    let src = "fn f() { let x = budget_j - drain_w; }";
+    assert_eq!(rules_hit(SIM, src), ["unit-add"]);
+}
+
+#[test]
+fn unit_add_negative() {
+    // Like dimensions add fine.
+    let src = "fn f() { let x = busy_j + idle_j; }";
+    assert!(rules_hit(MODEL, src).is_empty());
+    // An unsuffixed operand unifies with anything (charitable inference).
+    let src = "fn f() { let x = energy_j + overhead; }";
+    assert!(rules_hit(MODEL, src).is_empty());
+    // Out of scope.
+    let src = "fn f() { let x = energy_j + idle_w; }";
+    assert!(rules_hit(OUT, src).is_empty());
+}
+
+#[test]
+fn unit_add_waiver() {
+    let src = "fn f() {\n    // enprop-lint: allow(unit-add) -- fixture: deliberate unlike-dimension sum\n    let x = energy_j + idle_w;\n}";
+    assert_eq!(waived_count(MODEL, src), (0, 1));
+}
+
+// --------------------------------------------------------------- unit-assign
+
+#[test]
+fn unit_assign_positive() {
+    let src = "fn f() { let dt_s = power_w; }";
+    assert_eq!(rules_hit(MODEL, src), ["unit-assign"]);
+    // Compound assignment into a suffixed field.
+    let src = "fn f() { n.energy_j += busy_power_w; }";
+    assert_eq!(rules_hit(SIM, src), ["unit-assign"]);
+}
+
+#[test]
+fn unit_assign_negative() {
+    // Matching dimensions, including through arithmetic.
+    let src = "fn f() { let energy_j = busy_power_w * dt_s; }";
+    assert!(rules_hit(MODEL, src).is_empty());
+    // `*=` rescales by design and is exempt.
+    let src = "fn f() { total_j *= derate_frac; }";
+    assert!(rules_hit(MODEL, src).is_empty());
+    let src = "fn f() { let dt_s = power_w; }";
+    assert!(rules_hit(OUT, src).is_empty());
+}
+
+#[test]
+fn unit_assign_waiver() {
+    let src = "fn f() {\n    // enprop-lint: allow(unit-assign) -- fixture: the op is defined as one watt-step here\n    let dt_s = power_w;\n}";
+    assert_eq!(waived_count(MODEL, src), (0, 1));
+}
+
+// ------------------------------------------------------------------ unit-cmp
+
+#[test]
+fn unit_cmp_positive() {
+    let src = "fn f() { if energy_j > idle_w { g() } }";
+    assert_eq!(rules_hit(MODEL, src), ["unit-cmp"]);
+    // min/max count as comparisons.
+    let src = "fn f() { let x = peak_w.max(floor_j); }";
+    assert_eq!(rules_hit(SIM, src), ["unit-cmp"]);
+}
+
+#[test]
+fn unit_cmp_negative() {
+    let src = "fn f() { if busy_j > idle_j { g() } }";
+    assert!(rules_hit(MODEL, src).is_empty());
+    // One unknown side unifies.
+    let src = "fn f() { if energy_j > threshold { g() } }";
+    assert!(rules_hit(MODEL, src).is_empty());
+    let src = "fn f() { if energy_j > idle_w { g() } }";
+    assert!(rules_hit(OUT, src).is_empty());
+}
+
+#[test]
+fn unit_cmp_waiver() {
+    let src = "fn f() {\n    // enprop-lint: allow(unit-cmp) -- fixture: threshold encodes J-per-1s window\n    if energy_j > idle_w { g() }\n}";
+    assert_eq!(waived_count(MODEL, src), (0, 1));
+}
+
+// --------------------------------------------------------------- unit-opaque
+
+#[test]
+fn unit_opaque_positive() {
+    // A suffixed binding built from a product of dimensionless unknowns
+    // claims a unit inference cannot verify.
+    let src = "fn f() { let energy_j = p * dt; }";
+    assert_eq!(rules_hit(MODEL, src), ["unit-opaque"]);
+    // Even one unknown factor voids the product's dimension.
+    let src = "fn f() { let energy_j = p_w * dt; }";
+    assert_eq!(rules_hit(MODEL, src), ["unit-opaque"]);
+}
+
+#[test]
+fn unit_opaque_negative() {
+    // Fully suffixed factors let inference verify the claim (U002 would
+    // fire instead if they multiplied out to the wrong dimension).
+    let src = "fn f() { let energy_j = p_w * dt_s; }";
+    assert!(rules_hit(MODEL, src).is_empty());
+    // Pure literal scaling adopts the context's dimension silently.
+    let src = "fn f() { let cap_bytes = 256.0 * 1024.0; }";
+    assert!(rules_hit(MODEL, src).is_empty());
+    let src = "fn f() { let energy_j = p * dt; }";
+    assert!(rules_hit(OUT, src).is_empty());
+}
+
+#[test]
+fn unit_opaque_waiver() {
+    let src = "fn f() {\n    // enprop-lint: allow(unit-opaque) -- fixture: p is W and dt is s by construction above\n    let energy_j = p * dt;\n}";
+    assert_eq!(waived_count(MODEL, src), (0, 1));
+}
+
+// --------------------------------------------------------------- lock-reenter
+
+/// A path inside the lock-rule scope (vendored rayon, obs, the eval cache).
+const LOCKS: &str = "vendor/rayon/src/fixture.rs";
+
+#[test]
+fn lock_reenter_positive() {
+    let src = "fn f(&self) { let g = self.inner.lock(); self.inner.lock().push(1); }";
+    assert_eq!(rules_hit(LOCKS, src), ["lock-reenter"]);
+}
+
+#[test]
+fn lock_reenter_negative() {
+    // Dropping the guard first is the sanctioned shape.
+    let src = "fn f(&self) { let g = self.inner.lock(); drop(g); self.inner.lock().push(1); }";
+    assert!(rules_hit(LOCKS, src).is_empty());
+    // Lock rules are scoped: the same code elsewhere is not checked.
+    let src = "fn f(&self) { let g = self.inner.lock(); self.inner.lock().push(1); }";
+    assert!(rules_hit(OUT, src).is_empty());
+}
+
+#[test]
+fn lock_reenter_waiver() {
+    let src = "fn f(&self) {\n    let g = self.inner.lock();\n    // enprop-lint: allow(lock-reenter) -- fixture: guard provably dropped on this branch\n    self.inner.lock().push(1);\n}";
+    assert_eq!(waived_count(LOCKS, src), (0, 1));
+}
+
+// ----------------------------------------------------------------- lock-order
+
+#[test]
+fn lock_order_positive() {
+    let src = "fn f(&self) { \
+                 { let a = self.a.lock(); let b = self.b.lock(); } \
+                 { let b = self.b.lock(); let a = self.a.lock(); } \
+               }";
+    assert_eq!(rules_hit(LOCKS, src), ["lock-order"]);
+}
+
+#[test]
+fn lock_order_negative() {
+    let src = "fn f(&self) { \
+                 { let a = self.a.lock(); let b = self.b.lock(); } \
+                 { let a = self.a.lock(); let b = self.b.lock(); } \
+               }";
+    assert!(rules_hit(LOCKS, src).is_empty());
+    let src = "fn f(&self) { \
+                 { let a = self.a.lock(); let b = self.b.lock(); } \
+                 { let b = self.b.lock(); let a = self.a.lock(); } \
+               }";
+    assert!(rules_hit(OUT, src).is_empty());
+}
+
+#[test]
+fn lock_order_waiver() {
+    let src = "fn f(&self) {\n    { let a = self.a.lock(); let b = self.b.lock(); }\n    // enprop-lint: allow(lock-order) -- fixture: second block runs only after the pool quiesces\n    { let b = self.b.lock(); let a = self.a.lock(); }\n}";
+    assert_eq!(waived_count(LOCKS, src), (0, 1));
+}
+
+// --------------------------------------------------------------- stale-waiver
+
+#[test]
+fn stale_waiver_positive() {
+    let src = "// enprop-lint: allow(map-iter) -- the HashMap this excused is long gone\nfn f() {}";
+    let rep = lint_source(SIM, src);
+    assert_eq!(rep.findings.len(), 1);
+    let f = &rep.findings[0];
+    assert_eq!((f.rule, f.code), ("stale-waiver", "W002"));
+    // W002 points at the waiver comment itself and quotes its reason.
+    assert_eq!(f.line, 1);
+    assert!(f.message.contains("map-iter"), "{}", f.message);
+    assert!(f.message.contains("long gone"), "{}", f.message);
+}
+
+#[test]
+fn stale_waiver_negative() {
+    // A waiver that earns its keep is not stale.
+    let src = "// enprop-lint: allow(map-iter) -- keys drained into a sorted Vec\nuse std::collections::HashMap;";
+    assert_eq!(waived_count(SIM, src), (0, 1));
+    // Malformed waivers are W001's business, never W002's.
+    let src = "// enprop-lint: allow(no-such-rule) -- whatever\nfn f() {}";
+    assert_eq!(rules_hit(SIM, src), ["waiver-syntax"]);
+}
+
+#[test]
+fn stale_waiver_waiver() {
+    // The escape hatch: a stale-waiver waiver keeps a conditional waiver
+    // alive (e.g. one that only suppresses under a feature flag).
+    let src = "// enprop-lint: allow(stale-waiver) -- fixture: inner waiver fires only under feature X\n// enprop-lint: allow(wall-clock) -- profiling path, compiled out by default\nfn f() {}";
+    assert_eq!(waived_count(SIM, src), (0, 1));
+}
+
+#[test]
+fn waiver_records_expose_usage() {
+    let src = "// enprop-lint: allow(map-iter) -- keys drained into a sorted Vec\nuse std::collections::HashMap;\n// enprop-lint: allow(wall-clock) -- nothing under this one\nfn f() {}";
+    let rep = lint_source(SIM, src);
+    let used: Vec<(String, bool)> = rep
+        .waivers
+        .iter()
+        .map(|w| (w.rule.clone(), w.used))
+        .collect();
+    assert_eq!(
+        used,
+        [("map-iter".to_string(), true), ("wall-clock".to_string(), false)]
+    );
 }
 
 // -------------------------------------------------------- cross-rule behavior

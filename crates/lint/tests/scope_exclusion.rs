@@ -2,16 +2,24 @@
 
 //! Regression tests for scanner scope: `enprop-lint` and `cargo clippy`
 //! must agree on what is first-party code. Vendored dependency stubs and
-//! build output must never produce findings, no matter what they contain.
+//! build output must never produce hygiene findings, no matter what they
+//! contain. One carve-out: `vendor/rayon` is walked for the
+//! lock-discipline rules (C001/C002) — and *only* those rules apply there.
 
 use enprop_lint::{collect_rs_files, scan_workspace};
 use std::fs;
 use std::path::PathBuf;
 
-/// A violation that fires in any crate (unseeded-rng is workspace-scoped),
-/// assembled from pieces so the self-scan never sees the forbidden call.
+/// A violation that fires in any first-party crate (unseeded-rng is
+/// workspace-scoped), assembled from pieces so the self-scan never sees
+/// the forbidden call.
 fn violating_source() -> String {
     format!("fn f() {{ let mut r = {}(); }}\n", "thread_rng")
+}
+
+/// A lock re-entry (C001) that the lock rules flag wherever they apply.
+fn reentry_source() -> &'static str {
+    "fn f(&self) { let g = self.inner.lock(); self.inner.lock().push(1); }\n"
 }
 
 /// Build a throwaway mini-workspace with violations planted inside and
@@ -22,6 +30,7 @@ fn build_fixture(tag: &str) -> PathBuf {
     let _ = fs::remove_dir_all(&root);
     for dir in [
         "vendor/rand/src",
+        "vendor/rayon/src",
         "target/debug",
         "crates/nodesim/src",
         ".hidden",
@@ -30,6 +39,13 @@ fn build_fixture(tag: &str) -> PathBuf {
     }
     fs::write(root.join("Cargo.toml"), "[workspace]\n").unwrap();
     fs::write(root.join("vendor/rand/src/lib.rs"), violating_source()).unwrap();
+    // vendor/rayon gets both a hygiene violation (must stay silent there)
+    // and a lock violation (must be reported from there).
+    fs::write(
+        root.join("vendor/rayon/src/lib.rs"),
+        format!("{}{}", violating_source(), reentry_source()),
+    )
+    .unwrap();
     fs::write(root.join("target/debug/gen.rs"), violating_source()).unwrap();
     fs::write(root.join(".hidden/gen.rs"), violating_source()).unwrap();
     fs::write(root.join("crates/nodesim/src/lib.rs"), violating_source()).unwrap();
@@ -37,36 +53,56 @@ fn build_fixture(tag: &str) -> PathBuf {
 }
 
 #[test]
-fn vendor_and_target_are_never_scanned() {
+fn only_the_rayon_carveout_escapes_vendor_exclusion() {
     let root = build_fixture("excl");
     let files = collect_rs_files(&root).unwrap();
     assert!(
         files.iter().all(|p| {
             let s = p.to_string_lossy();
-            !s.contains("/vendor/") && !s.contains("/target/") && !s.contains("/.hidden/")
+            (!s.contains("/vendor/") || s.contains("/vendor/rayon/"))
+                && !s.contains("/target/")
+                && !s.contains("/.hidden/")
         }),
         "excluded directory leaked into the scan set: {files:?}"
     );
-    assert_eq!(files.len(), 1, "only the first-party file should remain");
+    assert_eq!(
+        files.len(),
+        2,
+        "the first-party file plus the rayon carve-out: {files:?}"
+    );
     let _ = fs::remove_dir_all(&root);
 }
 
 #[test]
-fn findings_come_only_from_first_party_code() {
+fn vendored_rayon_sees_lock_rules_and_nothing_else() {
     let root = build_fixture("find");
     let rep = scan_workspace(&root).unwrap();
-    assert_eq!(rep.files_scanned, 1);
-    assert_eq!(rep.findings.len(), 1, "exactly the planted violation");
-    assert_eq!(rep.findings[0].path, "crates/nodesim/src/lib.rs");
-    assert_eq!(rep.findings[0].rule, "unseeded-rng");
+    assert_eq!(rep.files_scanned, 2);
+    // Exactly two findings: the planted first-party rng violation and the
+    // planted vendored lock re-entry. The rng call *inside* vendor/rayon
+    // stays silent — vendored code answers only to the lock rules.
+    let hits: Vec<(&str, &str)> = rep
+        .findings
+        .iter()
+        .map(|f| (f.path.as_str(), f.rule))
+        .collect();
+    assert_eq!(
+        hits,
+        [
+            ("crates/nodesim/src/lib.rs", "unseeded-rng"),
+            ("vendor/rayon/src/lib.rs", "lock-reenter"),
+        ],
+        "{hits:?}"
+    );
     let _ = fs::remove_dir_all(&root);
 }
 
 #[test]
-fn real_vendor_tree_would_violate_if_scanned() {
+fn real_vendor_tree_is_scanned_only_through_the_carveout() {
     // Belt and braces: the actual vendored rand stub constructs RNGs and
     // would light up the pass if it were ever pulled into scope. Assert
-    // the real workspace's scan set excludes every vendor/ file.
+    // the real workspace's scan set admits no vendor/ file outside
+    // vendor/rayon, and no build output at all.
     let ws = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .parent()
         .and_then(std::path::Path::parent)
@@ -74,10 +110,18 @@ fn real_vendor_tree_would_violate_if_scanned() {
         .to_path_buf();
     let files = collect_rs_files(&ws).unwrap();
     assert!(!files.is_empty());
-    assert!(files
-        .iter()
-        .all(|p| !p.to_string_lossy().contains("/vendor/")));
+    assert!(files.iter().all(|p| {
+        let s = p.to_string_lossy();
+        !s.contains("/vendor/") || s.contains("/vendor/rayon/")
+    }));
     assert!(files
         .iter()
         .all(|p| !p.to_string_lossy().contains("/target/")));
+    // The carve-out itself is present: lock rules do cover vendored rayon.
+    assert!(
+        files
+            .iter()
+            .any(|p| p.to_string_lossy().contains("/vendor/rayon/")),
+        "vendor/rayon missing from the scan set"
+    );
 }

@@ -1,0 +1,133 @@
+#![allow(clippy::unwrap_used)] // test code: panicking on malformed fixtures is the desired failure mode
+
+//! Property tests for the token-tree builder: `flatten(build(toks))` must
+//! reproduce the lexed token stream exactly — for balanced source, for
+//! arbitrarily unbalanced delimiter soup, and for everything in between.
+//! A linter that drops or reorders tokens while grouping would silently
+//! blind every structural rule downstream of it.
+
+use enprop_lint::lexer::lex;
+use enprop_lint::tree::{build, flatten, Tree};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// One vocabulary item of generated pseudo-Rust: identifiers (suffixed and
+/// not), literals, keywords, operators — and every delimiter, so random
+/// streams are usually unbalanced in interesting ways.
+fn vocab() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("fn"),
+        Just("let"),
+        Just("if"),
+        Just("match"),
+        Just("return"),
+        Just("energy_j"),
+        Just("power_w"),
+        Just("dt_s"),
+        Just("x"),
+        Just("self"),
+        Just("1.5"),
+        Just("42"),
+        Just("\"str\""),
+        Just("="),
+        Just("+"),
+        Just("*"),
+        Just("/"),
+        Just("."),
+        Just(";"),
+        Just(","),
+        Just("::"),
+        Just("->"),
+        Just("=="),
+        Just("("),
+        Just(")"),
+        Just("["),
+        Just("]"),
+        Just("{"),
+        Just("}"),
+    ]
+}
+
+/// Join generated words into source text. Newlines every few words keep
+/// line/col bookkeeping honest too.
+fn render(words: &[&str]) -> String {
+    let mut src = String::new();
+    for (i, w) in words.iter().enumerate() {
+        src.push_str(w);
+        src.push(if i % 7 == 6 { '\n' } else { ' ' });
+    }
+    src
+}
+
+fn assert_roundtrip(src: &str) -> Result<(), TestCaseError> {
+    let toks = lex(src).tokens;
+    let trees = build(&toks);
+    let flat = flatten(&trees);
+    prop_assert_eq!(toks.len(), flat.len(), "token count changed for {:?}", src);
+    for (a, b) in toks.iter().zip(flat.iter()) {
+        prop_assert_eq!(
+            (a.kind, &a.text, a.lo, a.hi, a.line, a.col),
+            (b.kind, &b.text, b.lo, b.hi, b.line, b.col),
+            "token diverged in {:?}",
+            src
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Round-trip over arbitrary token soup, balanced or not.
+    #[test]
+    fn flatten_build_roundtrips(words in vec(vocab(), 0..60)) {
+        assert_roundtrip(&render(&words))?;
+    }
+
+    /// Same property restricted to streams with delimiters stripped:
+    /// degenerate flat input must round-trip leaf-for-leaf.
+    #[test]
+    fn delimiter_free_streams_are_all_leaves(words in vec(vocab(), 0..40)) {
+        let flatwords: Vec<&str> = words
+            .iter()
+            .copied()
+            .filter(|w| !matches!(*w, "(" | ")" | "[" | "]" | "{" | "}"))
+            .collect();
+        let src = render(&flatwords);
+        let toks = lex(&src).tokens;
+        let trees = build(&toks);
+        prop_assert_eq!(trees.len(), toks.len());
+        prop_assert!(trees.iter().all(|t| matches!(t, Tree::Leaf(_))));
+        assert_roundtrip(&src)?;
+    }
+}
+
+/// Structural sanity on top of the round-trip: every group in a built tree
+/// carries a matching delimiter class between its open token and (when
+/// present) its close token.
+#[test]
+fn group_delimiters_are_self_consistent() {
+    fn check(trees: &[Tree]) {
+        for t in trees {
+            if let Tree::Group(g) = t {
+                let want_open = match g.delim {
+                    enprop_lint::tree::Delim::Paren => "(",
+                    enprop_lint::tree::Delim::Bracket => "[",
+                    enprop_lint::tree::Delim::Brace => "{",
+                };
+                assert_eq!(g.open.text, want_open);
+                if let Some(c) = &g.close {
+                    let want_close = match g.delim {
+                        enprop_lint::tree::Delim::Paren => ")",
+                        enprop_lint::tree::Delim::Bracket => "]",
+                        enprop_lint::tree::Delim::Brace => "}",
+                    };
+                    assert_eq!(c.text, want_close);
+                }
+                check(&g.children);
+            }
+        }
+    }
+    let src = "fn f(a: u8) { g([1, 2], (3, [4])); } ) ] unclosed ( [ {";
+    check(&build(&lex(src).tokens));
+}

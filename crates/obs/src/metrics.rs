@@ -76,10 +76,10 @@ impl MetricsSnapshot {
             EventKind::SpanEnd => {
                 if let Some(b) = open.get_mut(&(e.track, e.name, e.id)).and_then(Vec::pop) {
                     let s = self.spans.entry(e.name).or_default();
-                    let dur = (e.t_s - b).max(0.0);
+                    let dur_s = (e.t_s - b).max(0.0);
                     s.count += 1;
-                    s.total_s += dur;
-                    s.max_s = s.max_s.max(dur);
+                    s.total_s += dur_s;
+                    s.max_s = s.max_s.max(dur_s);
                 }
             }
             EventKind::Gauge { value } => {

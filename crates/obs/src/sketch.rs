@@ -141,7 +141,6 @@ impl QuantileSketch {
 
     /// Key for a positive finite value.
     fn key(&self, v: f64) -> i32 {
-        // enprop-lint: allow(float-int-cast) -- the log-bucket index is clamped into i32 range before the cast; saturation at the extremes only widens the outermost buckets
         (v.ln() / self.ln_gamma).ceil().clamp(i32::MIN as f64, i32::MAX as f64) as i32
     }
 

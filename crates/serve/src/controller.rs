@@ -558,15 +558,15 @@ impl<'a> Controller<'a> {
     fn advance(&mut self, i: usize) {
         let now = self.now;
         let n = &mut self.nodes[i];
-        let dt = now - n.acct_t;
-        if dt <= 0.0 {
+        let dt_s = now - n.acct_t;
+        if dt_s <= 0.0 {
             n.acct_t = now;
             return;
         }
         let g = &self.groups[n.group];
         let stalled = n.acct_t < n.stalled_until;
         let busy = n.current.is_some() && !n.crashed && !stalled;
-        let power = match n.admin {
+        let power_w = match n.admin {
             Admin::Deactivated => 0.0,
             _ => {
                 if busy {
@@ -576,13 +576,13 @@ impl<'a> Controller<'a> {
                 }
             }
         };
-        let joules = dt * power;
-        let ideal_joules = if busy { dt * g.peak_busy_w } else { 0.0 };
+        let joules = dt_s * power_w;
+        let ideal_joules = if busy { dt_s * g.peak_busy_w } else { 0.0 };
         n.energy_j += joules;
         if busy {
             let rate = g.rate_at[g.freq_idx] / n.slowdown;
             if let Some(cur) = &mut n.current {
-                cur.remaining_ops = (cur.remaining_ops - dt * rate).max(0.0);
+                cur.remaining_ops = (cur.remaining_ops - dt_s * rate).max(0.0);
                 cur.energy_j += joules;
             }
         }
@@ -1368,6 +1368,7 @@ impl<'a> Controller<'a> {
         rec.span_end(self.now, Track::Controller, "serve.run", self.cfg.seed);
 
         let energy_j: f64 = self.nodes.iter().map(|n| n.energy_j).sum();
+        // enprop-lint: allow(unit-opaque) -- self.now is the controller's virtual clock, maintained in seconds throughout
         let horizon_s = self.now;
         let nan = f64::NAN;
         ServeReport {

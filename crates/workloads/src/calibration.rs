@@ -158,32 +158,33 @@ pub struct FittedDemand {
 pub fn fit_demand(spec: &NodeSpec, targets: &NodeTargets, shape: Shape) -> FittedDemand {
     let idle = spec.power.sys_idle_w;
     let p_peak = targets.peak_power_w(idle);
-    let theta = targets.peak_throughput(idle);
-    assert!(theta > 0.0, "peak throughput must be positive");
-    let t_op = 1.0 / theta;
+    let theta_ops_s = targets.peak_throughput(idle);
+    assert!(theta_ops_s > 0.0, "peak throughput must be positive");
+    let s_per_op = 1.0 / theta_ops_s;
     let c = spec.cores as f64;
     let f = spec.fmax();
 
-    let (cycles, mem_cycles, io_bytes, io_requests, io_rate) = match shape {
+    let (cycles, mem_cycles, io_bytes_per_op, io_requests, io_rate) = match shape {
         Shape::Compute { mem_ratio } => {
             assert!((0.0..=1.0).contains(&mem_ratio), "mem_ratio in [0,1]");
-            (c * f * t_op, mem_ratio * f * t_op, 0.0, 0.0, 0.0)
+            (c * f * s_per_op, mem_ratio * f * s_per_op, 0.0, 0.0, 0.0)
         }
         Shape::Memory { core_frac } => {
             assert!((0.0..=1.0).contains(&core_frac), "core_frac in [0,1]");
-            (core_frac * c * f * t_op, f * t_op, 0.0, 0.0, 0.0)
+            (core_frac * c * f * s_per_op, f * s_per_op, 0.0, 0.0, 0.0)
         }
         Shape::IoBytes {
             cpu_frac,
             mem_frac,
             request_bytes,
         } => {
-            let bytes = spec.net_bandwidth * t_op;
+            // enprop-lint: allow(unit-opaque) -- NodeSpec::net_bandwidth is the NIC line rate in B/s, so line rate × s/op = B/op
+            let bytes_per_op = spec.net_bandwidth * s_per_op;
             (
-                cpu_frac * c * f * t_op,
-                mem_frac * f * t_op,
-                bytes,
-                bytes / request_bytes,
+                cpu_frac * c * f * s_per_op,
+                mem_frac * f * s_per_op,
+                bytes_per_op,
+                bytes_per_op / request_bytes,
                 0.0,
             )
         }
@@ -192,19 +193,20 @@ pub fn fit_demand(spec: &NodeSpec, targets: &NodeTargets, shape: Shape) -> Fitte
             mem_frac,
             request_bytes,
         } => {
-            // λ binds: requests/op ÷ λ = t_op, with the byte transfer kept
+            // λ binds: requests/op ÷ λ = s_per_op, with the byte transfer kept
             // strictly below the line rate so it never binds.
+            // enprop-lint: allow(unit-assign) -- this shape defines one op as one payload byte, so reqs/op = (1 B/op) ÷ (request_bytes B/req); the op ≡ B identification is deliberate
             let reqs_per_op = 1.0 / request_bytes;
-            let lambda = reqs_per_op / t_op;
-            let bytes = 1.0; // one op = one byte of payload
+            let lambda = reqs_per_op / s_per_op;
+            let bytes_per_op = 1.0; // one op = one byte of payload
             assert!(
-                bytes / spec.net_bandwidth < t_op,
+                bytes_per_op / spec.net_bandwidth < s_per_op,
                 "byte transfer must not bind for an IoRequests shape"
             );
             (
-                cpu_frac * c * f * t_op,
-                mem_frac * f * t_op,
-                bytes,
+                cpu_frac * c * f * s_per_op,
+                mem_frac * f * s_per_op,
+                bytes_per_op,
                 reqs_per_op,
                 lambda,
             )
@@ -215,7 +217,7 @@ pub fn fit_demand(spec: &NodeSpec, targets: &NodeTargets, shape: Shape) -> Fitte
         cycles_per_op: cycles,
         mem_cycles_per_op: mem_cycles,
         mem_bytes_per_op: mem_cycles / f * spec.mem_bandwidth * MEM_BYTE_HEADROOM,
-        io_bytes_per_op: io_bytes,
+        io_bytes_per_op,
         io_requests_per_op: io_requests,
         act_power_scale: 1.0,
     };
@@ -225,8 +227,8 @@ pub fn fit_demand(spec: &NodeSpec, targets: &NodeTargets, shape: Shape) -> Fitte
     let model = SingleNodeModel::new(spec, &demand, io_rate);
     let t_total = model.time(1.0, spec.cores, f).total;
     assert!(
-        (t_total - t_op).abs() < 1e-9 * t_op,
-        "shape failed to reproduce the target throughput: {t_total} vs {t_op}"
+        (t_total - s_per_op).abs() < 1e-9 * s_per_op,
+        "shape failed to reproduce the target throughput: {t_total} vs {s_per_op}"
     );
     let e_unit = model.energy(1.0, spec.cores, f);
     let p_act_unit = e_unit.cpu_act / t_total;

@@ -36,6 +36,7 @@ impl HostMeasurement {
     /// `freq` Hz, assuming the host measurement used `host_threads` threads
     /// of a `host_freq` Hz machine (the paper's cycles-per-op inversion).
     pub fn to_demand(&self, host_threads: usize, host_freq: f64) -> OpDemand {
+        // enprop-lint: allow(unit-opaque) -- cycles/op = threads × Hz ÷ (ops/s); thread and cycle counts sit outside the dimension lattice
         let cycles_per_op = host_threads as f64 * host_freq / self.ops_per_sec;
         OpDemand::compute_only(cycles_per_op)
     }
@@ -60,7 +61,6 @@ pub enum Kernel {
 
 /// Problem size scaled by the interactive `scale` knob.
 fn scaled(base: f64, scale: f64) -> u64 {
-    // enprop-lint: allow(float-int-cast) -- scale is clamped to [0.01, 100], so base·scale is ≪ 2⁵³ and truncation only floors the problem size
     (base * scale) as u64
 }
 
@@ -155,6 +155,7 @@ pub fn calibrate_from_host(
         .map(|n| n.get())
         .unwrap_or(1);
     let m = measure(kernel, 0.1);
+    // enprop-lint: allow(unit-opaque) -- cycles/op = threads × Hz ÷ (ops/s); thread and cycle counts sit outside the dimension lattice
     let host_cycles_per_op = threads as f64 * host_freq / m.ops_per_sec;
 
     let mut builder = crate::builder::WorkloadBuilder::new(name, unit).domain("host-calibrated");

@@ -24,12 +24,12 @@ pub enum Popularity {
 /// One client request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Op {
-    /// Store `value_size` bytes under `key`.
+    /// Store `value_bytes` bytes under `key`.
     Set {
         /// Key bytes.
         key: Vec<u8>,
         /// Payload size in bytes.
-        value_size: usize,
+        value_bytes: usize,
     },
     /// Fetch `key`.
     Get {
@@ -42,7 +42,7 @@ pub enum Op {
 #[derive(Debug)]
 pub struct MemslapGen {
     keys: usize,
-    value_size: usize,
+    value_bytes: usize,
     get_ratio: f64,
     rng: SmallRng,
     /// Cumulative popularity weights; empty for the uniform distribution.
@@ -50,16 +50,16 @@ pub struct MemslapGen {
 }
 
 impl MemslapGen {
-    /// `keys` in the key space, fixed `value_size`, `get_ratio` of reads
+    /// `keys` in the key space, fixed `value_bytes`, `get_ratio` of reads
     /// (memslap's default workload is 90% get / 10% set).
-    pub fn new(keys: usize, value_size: usize, get_ratio: f64, seed: u64) -> Self {
-        Self::with_popularity(keys, value_size, get_ratio, Popularity::Uniform, seed)
+    pub fn new(keys: usize, value_bytes: usize, get_ratio: f64, seed: u64) -> Self {
+        Self::with_popularity(keys, value_bytes, get_ratio, Popularity::Uniform, seed)
     }
 
     /// Like [`MemslapGen::new`] with an explicit popularity distribution.
     pub fn with_popularity(
         keys: usize,
-        value_size: usize,
+        value_bytes: usize,
         get_ratio: f64,
         popularity: Popularity,
         seed: u64,
@@ -85,7 +85,7 @@ impl MemslapGen {
         };
         MemslapGen {
             keys,
-            value_size,
+            value_bytes,
             get_ratio,
             rng: SmallRng::seed_from_u64(seed),
             popularity_cdf,
@@ -110,7 +110,7 @@ impl MemslapGen {
         (0..self.keys)
             .map(|i| Op::Set {
                 key: self.key(i),
-                value_size: self.value_size,
+                value_bytes: self.value_bytes,
             })
             .collect()
     }
@@ -123,7 +123,7 @@ impl MemslapGen {
         } else {
             Op::Set {
                 key: self.key(i),
-                value_size: self.value_size,
+                value_bytes: self.value_bytes,
             }
         }
     }
@@ -131,7 +131,8 @@ impl MemslapGen {
     /// Bytes of payload one request moves on average (for demand
     /// calibration): every op touches one fixed-size value.
     pub fn bytes_per_op(&self) -> usize {
-        self.value_size
+        // enprop-lint: allow(unit-assign) -- every op touches exactly one value, so the per-op byte cost equals the per-value byte count
+        self.value_bytes
     }
 }
 

@@ -2,11 +2,29 @@
 # `./scripts/verify.sh` is the no-just fallback.
 
 # Build, test and lint the whole workspace (warnings are errors).
-verify: && obs-smoke perf-smoke serve-smoke obs-query-smoke
+verify: && obs-smoke perf-smoke serve-smoke obs-query-smoke lint-budget
     cargo build --release --workspace --offline
     cargo test -q --workspace --offline
     cargo clippy --workspace --all-targets --offline -- -D warnings
     cargo run --release -p enprop-lint --offline
+
+# Lint-runtime budget (DESIGN.md §15): the whole-workspace self-scan must
+# stay interactive (< 2 s) and its wall time is recorded with the other
+# perf gates (appends BENCH_lint_scan.json). Also pins the v2 JSON schema
+# that scripts/verify.sh consumes.
+lint-budget:
+    #!/usr/bin/env sh
+    set -eu
+    json="$(cargo run --release -p enprop-lint --offline -- --json)"
+    printf '%s\n' "$json" | grep -q '"format":"enprop-lint-v2"'
+    scan_ms="$(printf '%s' "$json" | sed -n 's/.*"scan_ms":\([0-9][0-9]*\).*/\1/p')"
+    test -n "$scan_ms"
+    if [ "$scan_ms" -ge 2000 ]; then
+        echo "lint-budget: scan took ${scan_ms} ms (budget 2000 ms)" >&2
+        exit 1
+    fi
+    printf '{"cmd":"lint.scan","wall_ms":%s,"seed":1}\n' "$scan_ms" >> BENCH_lint_scan.json
+    echo "lint-budget: OK (${scan_ms} ms)"
 
 # Telemetry exports must stay well-formed: run a traced command and
 # check both artifacts for their format markers.

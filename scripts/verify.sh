@@ -10,14 +10,24 @@ echo "==> cargo test"
 cargo test -q --workspace --offline
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
-echo "==> enprop-lint (determinism & numeric hygiene)"
-# The pass exits 0 clean / 1 findings / 2 usage or I/O error (DESIGN.md §11).
+echo "==> enprop-lint (determinism, numeric hygiene, unit & lock coherence)"
+# The pass exits 0 clean / 1 findings / 2 usage or I/O error (DESIGN.md §11, §15).
 if ! lint_json="$(./target/release/enprop-lint --json)"; then
     printf '%s\n' "$lint_json"
     echo "verify: enprop-lint reported findings" >&2
     exit 1
 fi
-printf '%s\n' "$lint_json" | grep -q '"format":"enprop-lint-v1"'
+printf '%s\n' "$lint_json" | grep -q '"format":"enprop-lint-v2"'
+# Lint-runtime budget: the whole-workspace scan must stay interactive
+# (< 2000 ms), and the measured wall time lands next to the other perf
+# gates so regressions show up in the BENCH_* history.
+scan_ms="$(printf '%s' "$lint_json" | sed -n 's/.*"scan_ms":\([0-9][0-9]*\).*/\1/p')"
+test -n "$scan_ms"
+if [ "$scan_ms" -ge 2000 ]; then
+    echo "verify: enprop-lint scan took ${scan_ms} ms (budget 2000 ms)" >&2
+    exit 1
+fi
+printf '{"cmd":"lint.scan","wall_ms":%s,"seed":1}\n' "$scan_ms" >> BENCH_lint_scan.json
 echo "==> obs smoke (trace + metrics exports)"
 obs_tmp="$(mktemp -d)"
 trap 'rm -rf "$obs_tmp"' EXIT
