@@ -54,9 +54,7 @@ pub fn faults_cmd(
     ctx: &mut ObsCtx,
 ) -> Result<(), EnpropError> {
     let name = opts.workload.clone().unwrap_or_else(|| "EP".into());
-    let workload = catalog::by_name(&name).ok_or_else(|| {
-        EnpropError::invalid_config(format!("unknown workload {name}; see --help"))
-    })?;
+    let workload = catalog::try_by_name(&name)?;
     if fo.jobs == 0 {
         return Err(EnpropError::invalid_parameter(
             "jobs",

@@ -29,12 +29,9 @@ pub struct ObsCtx {
 /// with the invalid-configuration code (the one place every command's
 /// `--workload` diagnostics funnel through).
 pub fn resolve_workload(name: &str) -> Workload {
-    catalog::by_name(name).unwrap_or_else(|| {
-        crate::diag::error(format!("unknown workload {name}; choose from:"));
-        for w in catalog::all() {
-            crate::diag::error(format!("  {}", w.name));
-        }
-        std::process::exit(2);
+    catalog::try_by_name(name).unwrap_or_else(|e| {
+        crate::diag::error(e.to_string());
+        std::process::exit(e.exit_code());
     })
 }
 

@@ -6,13 +6,19 @@
 use super::{ObsCtx, Opts};
 use crate::output::render_csv;
 use enprop_clustersim::{ClusterSpec, EnpropError, FaultKind, FaultPlan, GroupFaultProfile, MtbfModel};
+use enprop_faults::{DomainFaultKind, DomainFaultProfile, Topology, TopologyFaultPlan};
 use enprop_serve::{
-    chaos_sweep, cluster_capacity_ops_s, default_ops_per_request, format_trace, parse_trace,
-    Arrival, ArrivalModel, ArrivalSource, Controller, ReplayCursor, ServeConfig, ServeReport,
-    SyntheticArrivals, WindowReport,
+    chaos_sweep, cluster_capacity_ops_s, default_ops_per_request, domain_chaos_sweep, format_trace,
+    parse_trace, Arrival, ArrivalModel, ArrivalSource, Controller, ReplayCursor, RunHooks,
+    RunOutcome, ServeConfig, ServeReport, SyntheticArrivals, WindowReport,
 };
 use enprop_workloads::catalog;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+
+/// How long a `--emergency-mtbf` power emergency holds its cap. A fixed
+/// length keeps the flag surface to the two knobs that matter (how often,
+/// how hard); sweeps that need varied lengths use the chaos harness.
+const EMERGENCY_DURATION_S: f64 = 10.0;
 
 /// Knobs of the serving commands (parsed from the command line in `main`).
 #[derive(Debug, Clone)]
@@ -56,6 +62,33 @@ pub struct ServeOpts {
     /// Print one observability-plane window row per this many virtual
     /// seconds as the run progresses (sets the plane's window length).
     pub live_report_s: Option<f64>,
+    /// Write a crash-consistent snapshot here at every closed obs window
+    /// (tmp-then-rename, so a kill mid-write never corrupts it).
+    pub checkpoint_out: Option<PathBuf>,
+    /// Resume a killed run from this snapshot instead of starting fresh.
+    pub resume_from: Option<PathBuf>,
+    /// Abandon the run (as a crash would) after this many events — pairs
+    /// with `--checkpoint-out` to exercise resume end to end.
+    pub kill_after_events: Option<u64>,
+    /// Fraction of synthetic arrivals tagged best-effort (shed first by
+    /// the degradation ladder).
+    pub best_effort: Option<f64>,
+    /// Rack MTBF, seconds: correlated rack crashes (absent = none).
+    pub rack_mtbf_s: Option<f64>,
+    /// PDU MTBF, seconds: correlated power losses (absent = none).
+    pub pdu_mtbf_s: Option<f64>,
+    /// Cluster-wide power-emergency MTBF, seconds (requires
+    /// `--emergency-cap`).
+    pub emergency_mtbf_s: Option<f64>,
+    /// Power-emergency cap, watts (requires `--emergency-mtbf`).
+    pub emergency_cap_w: Option<f64>,
+    /// Physical placement: nodes per rack.
+    pub nodes_per_rack: usize,
+    /// Physical placement: racks per PDU.
+    pub racks_per_pdu: usize,
+    /// `enprop chaos --domains`: sweep correlated-failure plans
+    /// (rack/PDU/emergency blasts) instead of independent per-node plans.
+    pub domains: bool,
 }
 
 impl Default for ServeOpts {
@@ -78,6 +111,17 @@ impl Default for ServeOpts {
             plans: 8,
             slo_p999_s: None,
             live_report_s: None,
+            checkpoint_out: None,
+            resume_from: None,
+            kill_after_events: None,
+            best_effort: None,
+            rack_mtbf_s: None,
+            pdu_mtbf_s: None,
+            emergency_mtbf_s: None,
+            emergency_cap_w: None,
+            nodes_per_rack: 4,
+            racks_per_pdu: 2,
+            domains: false,
         }
     }
 }
@@ -85,9 +129,7 @@ impl Default for ServeOpts {
 /// The serving workload default: the paper's latency-sensitive service.
 fn serving_workload(opts: &Opts) -> Result<enprop_workloads::Workload, EnpropError> {
     let name = opts.workload.clone().unwrap_or_else(|| "memcached".into());
-    catalog::by_name(&name).ok_or_else(|| {
-        EnpropError::invalid_config(format!("unknown workload {name}; see --help"))
-    })
+    catalog::try_by_name(&name)
 }
 
 /// Build the controller config shared by `serve` and `replay`.
@@ -143,6 +185,156 @@ fn serve_plan(opts: &Opts, so: &ServeOpts, groups: usize) -> FaultPlan {
     )
 }
 
+/// Build the correlated-failure plan from the topology flags. `None`
+/// when no topology flag was given; the emergency flags must come as a
+/// pair (a rate without a cap — or a cap without a rate — is a typed
+/// parameter error, not a guess).
+fn serve_topology(
+    opts: &Opts,
+    so: &ServeOpts,
+    n_nodes: usize,
+) -> Result<Option<TopologyFaultPlan>, EnpropError> {
+    let any = so.rack_mtbf_s.is_some()
+        || so.pdu_mtbf_s.is_some()
+        || so.emergency_mtbf_s.is_some()
+        || so.emergency_cap_w.is_some();
+    if !any {
+        return Ok(None);
+    }
+    match (so.emergency_mtbf_s, so.emergency_cap_w) {
+        (Some(_), None) => {
+            return Err(EnpropError::invalid_parameter(
+                "--emergency-cap",
+                "--emergency-mtbf needs --emergency-cap W (how hard to cap)",
+            ));
+        }
+        (None, Some(_)) => {
+            return Err(EnpropError::invalid_parameter(
+                "--emergency-mtbf",
+                "--emergency-cap needs --emergency-mtbf S (how often emergencies strike)",
+            ));
+        }
+        _ => {}
+    }
+    let mut plan = TopologyFaultPlan::none(Topology::new(
+        n_nodes,
+        so.nodes_per_rack,
+        so.racks_per_pdu,
+    )?);
+    plan.seed = opts.seed;
+    if let Some(mtbf_s) = so.rack_mtbf_s {
+        plan.rack = DomainFaultProfile {
+            mtbf: MtbfModel::Exponential { mtbf_s },
+            kinds: vec![(1.0, DomainFaultKind::RackCrash)],
+        };
+    }
+    if let Some(mtbf_s) = so.pdu_mtbf_s {
+        plan.pdu = DomainFaultProfile {
+            mtbf: MtbfModel::Exponential { mtbf_s },
+            kinds: vec![(1.0, DomainFaultKind::PduLoss)],
+        };
+    }
+    if let (Some(mtbf_s), Some(cap_w)) = (so.emergency_mtbf_s, so.emergency_cap_w) {
+        plan.cluster = DomainFaultProfile {
+            mtbf: MtbfModel::Exponential { mtbf_s },
+            kinds: vec![(
+                1.0,
+                DomainFaultKind::PowerEmergency { cap_w, duration_s: EMERGENCY_DURATION_S },
+            )],
+        };
+    }
+    plan.validate()?;
+    Ok(Some(plan))
+}
+
+/// Write one checkpoint crash-consistently: to `<path>.tmp`, then rename
+/// over `path`. A kill mid-write leaves the previous snapshot intact; the
+/// snapshot's own trailer line guards against torn renames on exotic
+/// filesystems.
+fn write_checkpoint(path: &Path, snapshot: &str) -> Result<(), EnpropError> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, snapshot).map_err(|e| {
+        EnpropError::invalid_config(format!("cannot write {}: {e}", tmp.display()))
+    })?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        EnpropError::invalid_config(format!(
+            "cannot rename {} over {}: {e}",
+            tmp.display(),
+            path.display()
+        ))
+    })
+}
+
+/// Shared tail of `serve` and `replay`: wire the hooks (live report,
+/// checkpoint sink, kill switch), run or resume the controller, and print
+/// the report — or the crash notice when `--kill-after-events` fired.
+#[allow(clippy::too_many_arguments)]
+fn run_serving(
+    opts: &Opts,
+    so: &ServeOpts,
+    workload: &enprop_workloads::Workload,
+    cluster: &ClusterSpec,
+    plan: &FaultPlan,
+    topo: Option<&TopologyFaultPlan>,
+    cfg: &ServeConfig,
+    source: &mut ArrivalSource,
+    mode: &str,
+    ctx: &mut ObsCtx,
+) -> Result<(), EnpropError> {
+    let mut live = live_sink(so.live_report_s.is_some());
+    // The checkpoint sink cannot return an error through the hook, so it
+    // parks the first failure here and the run surfaces it on exit.
+    let mut cp_err: Option<EnpropError> = None;
+    let cp_path = so.checkpoint_out.clone();
+    let mut cp_sink = |snap: &str| {
+        if let Some(path) = &cp_path {
+            if cp_err.is_none() {
+                cp_err = write_checkpoint(path, snap).err();
+            }
+        }
+    };
+    let mut hooks = RunHooks {
+        live: &mut live,
+        checkpoint: so.checkpoint_out.is_some().then_some(&mut cp_sink as &mut dyn FnMut(&str)),
+        kill_after_events: so.kill_after_events,
+    };
+    let outcome = if let Some(snap_path) = &so.resume_from {
+        let snapshot = std::fs::read_to_string(snap_path).map_err(|e| {
+            EnpropError::invalid_config(format!("cannot read {}: {e}", snap_path.display()))
+        })?;
+        Controller::resume_full(
+            workload, cluster, plan, topo, cfg, source, &mut ctx.rec, &snapshot, &mut hooks,
+        )?
+    } else {
+        Controller::run_full(
+            workload, cluster, plan, topo, cfg, source, &mut ctx.rec, &mut hooks,
+        )?
+    };
+    if let Some(e) = cp_err {
+        return Err(e);
+    }
+    match outcome {
+        RunOutcome::Completed(report) => {
+            print_report(opts, workload.name, cluster, mode, &report);
+        }
+        RunOutcome::Killed { events, at_s } => {
+            println!(
+                "run killed after {events} events at t = {at_s:.3} virtual s (simulated crash; \
+                 no report)"
+            );
+            if let Some(path) = &so.checkpoint_out {
+                println!(
+                    "resume with: enprop {mode} --resume-from {} <same flags>",
+                    path.display()
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
 /// `enprop serve`: generate a synthetic arrival stream and run the online
 /// controller over it, optionally writing the stream out for replay.
 pub fn serve_cmd(
@@ -181,6 +373,9 @@ pub fn serve_cmd(
     // Materialize the stream so `--emit-arrivals` and the run see the
     // exact same timeline.
     let mut generator = SyntheticArrivals::new(model, so.requests, ops, 0.2, opts.seed)?;
+    if let Some(frac) = so.best_effort {
+        generator = generator.with_best_effort(frac)?;
+    }
     let mut arrivals: Vec<Arrival> = Vec::with_capacity(so.requests as usize);
     while let Some(a) = generator.next_arrival() {
         arrivals.push(a);
@@ -197,14 +392,12 @@ pub fn serve_cmd(
     }
 
     let plan = serve_plan(opts, so, cluster.groups.len());
+    let topo = serve_topology(opts, so, cluster.node_count() as usize)?;
     let cfg = serve_config(opts, so);
     let mut source = ArrivalSource::Replay(ReplayCursor::new(arrivals));
-    let mut live = live_sink(so.live_report_s.is_some());
-    let report = Controller::run_live(
-        &workload, &cluster, &plan, &cfg, &mut source, &mut ctx.rec, &mut live,
-    )?;
-    print_report(opts, workload.name, &cluster, "serve", &report);
-    Ok(())
+    run_serving(
+        opts, so, &workload, &cluster, &plan, topo.as_ref(), &cfg, &mut source, "serve", ctx,
+    )
 }
 
 /// `enprop replay`: run the controller over a recorded JSONL arrival
@@ -234,14 +427,12 @@ pub fn replay_cmd(
     ));
 
     let plan = serve_plan(opts, so, cluster.groups.len());
+    let topo = serve_topology(opts, so, cluster.node_count() as usize)?;
     let cfg = serve_config(opts, so);
     let mut source = ArrivalSource::Replay(ReplayCursor::new(arrivals));
-    let mut live = live_sink(so.live_report_s.is_some());
-    let report = Controller::run_live(
-        &workload, &cluster, &plan, &cfg, &mut source, &mut ctx.rec, &mut live,
-    )?;
-    print_report(opts, workload.name, &cluster, "replay", &report);
-    Ok(())
+    run_serving(
+        opts, so, &workload, &cluster, &plan, topo.as_ref(), &cfg, &mut source, "replay", ctx,
+    )
 }
 
 /// `enprop chaos`: sweep randomized fault plans and verify the robustness
@@ -250,11 +441,16 @@ pub fn chaos_cmd(opts: &Opts, so: &ServeOpts, a9: u32, k10: u32) -> Result<(), E
     let workload = serving_workload(opts)?;
     let cluster = ClusterSpec::a9_k10(a9, k10);
     let cfg = serve_config(opts, so);
-    let out = chaos_sweep(&workload, &cluster, &cfg, so.plans, so.requests, so.utilization)?;
+    let out = if so.domains {
+        domain_chaos_sweep(&workload, &cluster, &cfg, so.plans, so.requests, so.utilization)?
+    } else {
+        chaos_sweep(&workload, &cluster, &cfg, so.plans, so.requests, so.utilization)?
+    };
 
     if !opts.csv {
         println!(
-            "Chaos sweep: {} on {} ({} nodes), {} plans x {} requests @ {:.0}% load\n",
+            "Chaos sweep{}: {} on {} ({} nodes), {} plans x {} requests @ {:.0}% load\n",
+            if so.domains { " (correlated failure domains)" } else { "" },
             workload.name,
             cluster.label(),
             cluster.node_count(),
@@ -266,6 +462,8 @@ pub fn chaos_cmd(opts: &Opts, so: &ServeOpts, a9: u32, k10: u32) -> Result<(), E
     let mut rows = vec![vec![
         "plan".to_string(),
         "faults".to_string(),
+        "domain_faults".to_string(),
+        "breakers".to_string(),
         "repairs".to_string(),
         "completions".to_string(),
         "shed".to_string(),
@@ -278,6 +476,8 @@ pub fn chaos_cmd(opts: &Opts, so: &ServeOpts, a9: u32, k10: u32) -> Result<(), E
         rows.push(vec![
             p.plan.to_string(),
             (r.crashes + r.stalls + r.stragglers).to_string(),
+            (r.rack_crashes + r.pdu_losses + r.partitions + r.power_emergencies).to_string(),
+            r.breaker_opens.to_string(),
             r.repairs.to_string(),
             r.completions.to_string(),
             r.shed().to_string(),
@@ -314,6 +514,7 @@ fn print_report(opts: &Opts, workload: &str, cluster: &ClusterSpec, mode: &str, 
             vec!["arrivals".into(), r.arrivals.to_string()],
             vec!["completions".into(), r.completions.to_string()],
             vec!["shed_admission".into(), r.shed_admission.to_string()],
+            vec!["shed_backpressure".into(), r.shed_backpressure.to_string()],
             vec!["shed_retry".into(), r.shed_retry.to_string()],
             vec!["in_flight_at_stop".into(), r.in_flight_at_stop.to_string()],
             vec!["timeouts".into(), r.timeouts.to_string()],
@@ -327,6 +528,13 @@ fn print_report(opts: &Opts, workload: &str, cluster: &ClusterSpec, mode: &str, 
             vec!["deactivations".into(), r.deactivations.to_string()],
             vec!["dvfs_up".into(), r.dvfs_up.to_string()],
             vec!["dvfs_down".into(), r.dvfs_down.to_string()],
+            vec!["rack_crashes".into(), r.rack_crashes.to_string()],
+            vec!["pdu_losses".into(), r.pdu_losses.to_string()],
+            vec!["partitions".into(), r.partitions.to_string()],
+            vec!["power_emergencies".into(), r.power_emergencies.to_string()],
+            vec!["emergency_actions".into(), r.emergency_actions.to_string()],
+            vec!["breaker_opens".into(), r.breaker_opens.to_string()],
+            vec!["breaker_closes".into(), r.breaker_closes.to_string()],
             vec!["horizon_s".into(), format!("{:.6}", r.horizon_s)],
             vec!["energy_j".into(), format!("{:.3}", r.energy_j)],
             vec!["mean_power_w".into(), format!("{:.3}", r.mean_power_w)],
@@ -370,6 +578,22 @@ fn print_report(opts: &Opts, workload: &str, cluster: &ClusterSpec, mode: &str, 
             r.shed_toggles,
             if r.forced_stop { "   [FORCED STOP]" } else { "" }
         );
+        let domain_events =
+            r.rack_crashes + r.pdu_losses + r.partitions + r.power_emergencies;
+        if domain_events + r.breaker_opens + r.shed_backpressure > 0 {
+            println!(
+                "  domains: {} rack crashes, {} PDU losses, {} partitions, {} power emergencies \
+                 ({} ladder actions) -> {} breakers opened, {} closed, {} backpressure sheds",
+                r.rack_crashes,
+                r.pdu_losses,
+                r.partitions,
+                r.power_emergencies,
+                r.emergency_actions,
+                r.breaker_opens,
+                r.breaker_closes,
+                r.shed_backpressure
+            );
+        }
     }
     println!("{}", r.conservation_line());
 }

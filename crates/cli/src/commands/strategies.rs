@@ -40,9 +40,12 @@ fn daily_kwh<F: Fn(f64) -> f64>(power_at: F) -> f64 {
 /// spike that outruns sleeping capacity (the §I scenario).
 pub fn strategies_cmd(opts: &Opts) {
     let name = opts.workload.clone().unwrap_or_else(|| "EP".into());
-    let Some(w) = catalog::by_name(&name) else {
-        eprintln!("unknown workload {name}");
-        std::process::exit(2);
+    let w = match catalog::try_by_name(&name) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(e.exit_code());
+        }
     };
     println!("Energy strategies for {name} (load axis: fraction of 32 A9 : 12 K10 capacity)\n");
 

@@ -45,17 +45,27 @@ Robustness commands:
                 [--stall SECS] [--slowdown X] [--retries N]
                 [--timeout-factor F] [--utilization U] [--jobs N]
 
-Serving commands (online mode, DESIGN.md \u{a7}13):
+Serving commands (online mode, DESIGN.md \u{a7}13 and \u{a7}16):
   serve         Extension: online serving under a virtual-time controller
                 [--requests N] [--utilization U | --rate R] [--arrival
                 poisson|diurnal] [--period S] [--ops-per-request OPS]
                 [--slo-p95 S] [--slo-p999 S] [--power-cap W] [--mtbf S]
                 [--stall S] [--slowdown X] [--repair S] [--max-inflight N]
                 [--emit-arrivals FILE] [--live-report SECS]
+                [--best-effort FRAC]
+                Correlated failure domains: [--rack-mtbf S] [--pdu-mtbf S]
+                [--emergency-mtbf S --emergency-cap W (10 s emergencies)]
+                [--nodes-per-rack N (4)] [--racks-per-pdu N (2)]
+                Checkpoint/resume: [--checkpoint-out FILE (written
+                tmp+rename at every closed obs window)] [--resume-from
+                FILE (same flags as the killed run)] [--kill-after-events
+                N (simulated crash: exit 0, no report)]
   replay        Replay a JSONL arrival trace through the serving
                 controller  --trace FILE  (same options as serve)
   chaos         Sweep randomized fault plans over serving runs, checking
                 conservation and span balance  [--plans N] [--requests N]
+                [--domains  (correlated rack/PDU/power-emergency plans
+                with circuit breakers, instead of per-node plans)]
 
 Observability commands (DESIGN.md \u{a7}14):
   obs query     Filter a recorded JSONL trace  --trace FILE  [--track T]
@@ -349,6 +359,21 @@ fn run() -> Result<(), EnpropError> {
             }
             so.slo_p999_s = parse_num(&args, "--slo-p999")?;
             so.live_report_s = parse_num(&args, "--live-report")?;
+            so.checkpoint_out = parse_flag(&args, "--checkpoint-out").map(PathBuf::from);
+            so.resume_from = parse_flag(&args, "--resume-from").map(PathBuf::from);
+            so.kill_after_events = parse_num(&args, "--kill-after-events")?;
+            so.best_effort = parse_num(&args, "--best-effort")?;
+            so.rack_mtbf_s = parse_num(&args, "--rack-mtbf")?;
+            so.pdu_mtbf_s = parse_num(&args, "--pdu-mtbf")?;
+            so.emergency_mtbf_s = parse_num(&args, "--emergency-mtbf")?;
+            so.emergency_cap_w = parse_num(&args, "--emergency-cap")?;
+            if let Some(n) = parse_num(&args, "--nodes-per-rack")? {
+                so.nodes_per_rack = n;
+            }
+            if let Some(n) = parse_num(&args, "--racks-per-pdu")? {
+                so.racks_per_pdu = n;
+            }
+            so.domains = args.iter().any(|a| a == "--domains");
             if let Some(r) = parse_num(&args, "--repair")? {
                 so.repair_s = r;
             }

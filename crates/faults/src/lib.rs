@@ -14,6 +14,13 @@
 //! the retry/timeout/backoff policy the dispatcher applies when a job
 //! fails.
 //!
+//! Beyond independent per-node faults, [`TopologyFaultPlan`] models
+//! *correlated* failure domains over a node → rack → PDU [`Topology`]:
+//! rack crashes, PDU power losses, network partitions, and cluster-wide
+//! [`DomainFaultKind::PowerEmergency`] budget events, all sampled from the
+//! same seeded MTBF machinery but keyed per *domain* so a blast-radius
+//! event hits every member node atomically.
+//!
 //! The crate is dependency-free (its RNG is a self-contained
 //! SplitMix64/xoshiro pair) so it can sit below every other enprop crate.
 
@@ -24,8 +31,12 @@ mod error;
 mod plan;
 mod retry;
 mod rng;
+mod topology;
 
 pub use error::EnpropError;
 pub use plan::{FaultEvent, FaultKind, FaultPlan, GroupFaultProfile, MtbfModel};
 pub use retry::RetryPolicy;
 pub use rng::FaultRng;
+pub use topology::{
+    Domain, DomainEvent, DomainFaultKind, DomainFaultProfile, Topology, TopologyFaultPlan,
+};

@@ -103,8 +103,10 @@ impl MtbfModel {
         }
     }
 
-    /// Sample the fault *times* within `[0, horizon_s)` for one node.
-    fn sample_times(&self, rng: &mut FaultRng, horizon_s: f64) -> Vec<f64> {
+    /// Sample the fault *times* within `[0, horizon_s)` for one node (or,
+    /// for the topology plan, one failure domain — racks and PDUs fail on
+    /// the same inter-arrival machinery nodes do).
+    pub(crate) fn sample_times(&self, rng: &mut FaultRng, horizon_s: f64) -> Vec<f64> {
         match self {
             MtbfModel::Disabled => Vec::new(),
             MtbfModel::Exponential { mtbf_s } => {

@@ -54,6 +54,23 @@ impl FaultRng {
     pub fn unit(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) as f64))
     }
+
+    /// The raw xoshiro256++ state — a checkpoint cursor. Feeding it back
+    /// through [`FaultRng::from_state`] resumes the stream exactly where
+    /// it left off (the serve snapshot format stores these four words).
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a stream from a [`FaultRng::state`] cursor. An all-zero
+    /// state (impossible to reach from a real stream, but possible in a
+    /// corrupt snapshot) is nudged off zero the same way `from_key` does.
+    pub fn from_state(mut s: [u64; 4]) -> Self {
+        if s == [0; 4] {
+            s[0] = 0x9e37_79b9_7f4a_7c15;
+        }
+        FaultRng { s }
+    }
 }
 
 fn splitmix(mut z: u64) -> u64 {

@@ -53,12 +53,29 @@ impl EnergyOutcome {
             EnergyOutcome::Idle,
         ]
     }
+
+    /// Stable small-integer tag (the canonical-order position) — the
+    /// checkpoint encoding of an outcome.
+    pub fn index(self) -> u8 {
+        match self {
+            EnergyOutcome::Completed => 0,
+            EnergyOutcome::Retried => 1,
+            EnergyOutcome::Shed => 2,
+            EnergyOutcome::Idle => 3,
+        }
+    }
+
+    /// Inverse of [`EnergyOutcome::index`]; `None` for an unknown tag
+    /// (a corrupt or future-version snapshot).
+    pub fn from_index(i: u8) -> Option<Self> {
+        Self::all().get(usize::from(i)).copied()
+    }
 }
 
 /// Attributes joules to `(group, outcome)` and tracks, per group, the
 /// ideal-proportional energy and completed-request count needed for the
 /// EP index and J/request.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EnergyLedger {
     /// Joules by (group, outcome).
     charges: BTreeMap<(u16, EnergyOutcome), f64>,
@@ -161,6 +178,40 @@ impl EnergyLedger {
         gs
     }
 
+    /// Capture the complete ledger state for checkpointing: flat
+    /// `(group, outcome-tag, joules)` charge rows plus the ideal and
+    /// completion sidecars, in deterministic (BTreeMap) order.
+    pub fn state(&self) -> LedgerState {
+        LedgerState {
+            charges: self
+                .charges
+                .iter()
+                .map(|(&(g, o), &j)| (g, o.index(), j))
+                .collect(),
+            ideal_j: self.ideal_j.iter().map(|(&g, &j)| (g, j)).collect(),
+            completed: self.completed.iter().map(|(&g, &n)| (g, n)).collect(),
+        }
+    }
+
+    /// Rebuild a ledger from a [`LedgerState`]. Rows carrying an unknown
+    /// outcome tag are rejected (`None`) rather than silently dropped —
+    /// a joule that cannot be attributed would break the snapshot's
+    /// joule-for-joule resume contract.
+    pub fn from_state(s: &LedgerState) -> Option<Self> {
+        let mut out = EnergyLedger::new();
+        for &(g, tag, j) in &s.charges {
+            let outcome = EnergyOutcome::from_index(tag)?;
+            *out.charges.entry((g, outcome)).or_insert(0.0) += j;
+        }
+        for &(g, j) in &s.ideal_j {
+            *out.ideal_j.entry(g).or_insert(0.0) += j;
+        }
+        for &(g, n) in &s.completed {
+            *out.completed.entry(g).or_insert(0) += n;
+        }
+        Some(out)
+    }
+
     /// Fold another ledger into this one (deterministic: key-wise sums).
     pub fn merge(&mut self, other: &EnergyLedger) {
         for (&k, &v) in &other.charges {
@@ -173,6 +224,18 @@ impl EnergyLedger {
             *self.completed.entry(g).or_insert(0) += n;
         }
     }
+}
+
+/// Checkpoint form of an [`EnergyLedger`]: flat rows in deterministic
+/// order, outcomes encoded by [`EnergyOutcome::index`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LedgerState {
+    /// `(group, outcome tag, joules)` rows.
+    pub charges: Vec<(u16, u8, f64)>,
+    /// `(group, ideal joules)` rows.
+    pub ideal_j: Vec<(u16, f64)>,
+    /// `(group, completed requests)` rows.
+    pub completed: Vec<(u16, u64)>,
 }
 
 #[cfg(test)]

@@ -51,9 +51,9 @@ mod window;
 pub use event::{EventKind, PowerSample, TraceEvent, Track};
 pub use export::{chrome_trace, jsonl, parse_jsonl, ParsedEvent, ParsedKind};
 pub use hist::Histogram;
-pub use ledger::{EnergyLedger, EnergyOutcome};
+pub use ledger::{EnergyLedger, EnergyOutcome, LedgerState};
 pub use metrics::{MetricsSnapshot, SpanStats, METRICS_SCHEMA};
 pub use profile::{append_bench_record, peak_rss_kb, BenchRecord, CommandTimer};
 pub use recorder::{MemoryRecorder, NoopRecorder, Recorder, SwitchRecorder};
-pub use sketch::{QuantileSketch, DEFAULT_MAX_BUCKETS, DEFAULT_SKETCH_ALPHA};
-pub use window::{WindowStats, WindowedSeries};
+pub use sketch::{QuantileSketch, SketchState, DEFAULT_MAX_BUCKETS, DEFAULT_SKETCH_ALPHA};
+pub use window::{SeriesState, WindowState, WindowStats, WindowedSeries};

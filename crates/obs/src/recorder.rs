@@ -46,6 +46,19 @@ pub trait Recorder {
 
     /// Record one histogram observation (aggregate only, no trace event).
     fn observe(&mut self, name: &'static str, value: f64);
+
+    /// Aggregate counter totals, for sinks that keep them. Checkpointing
+    /// callers persist these so a resumed run's [`Recorder::counter`]
+    /// events continue the original running totals instead of restarting
+    /// at zero. Sinks without aggregate state return nothing.
+    fn counter_snapshot(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
+
+    /// Seed a counter total captured by [`Recorder::counter_snapshot`]
+    /// before resuming a checkpointed run. Sinks without aggregate state
+    /// ignore it.
+    fn counter_restore(&mut self, _name: &'static str, _total: u64) {}
 }
 
 /// The do-nothing sink: every method is an empty inline body and
@@ -202,6 +215,14 @@ impl Recorder for MemoryRecorder {
     fn observe(&mut self, name: &'static str, value: f64) {
         self.hists.entry(name).or_default().observe(value);
     }
+
+    fn counter_snapshot(&self) -> Vec<(&'static str, u64)> {
+        self.counters.iter().map(|(&n, &v)| (n, v)).collect()
+    }
+
+    fn counter_restore(&mut self, name: &'static str, total: u64) {
+        self.counters.insert(name, total);
+    }
 }
 
 /// Runtime on/off recorder — the *enum dispatch* the CLI threads through
@@ -278,6 +299,15 @@ impl Recorder for SwitchRecorder {
     }
     fn observe(&mut self, name: &'static str, value: f64) {
         forward!(self, observe, name, value);
+    }
+    fn counter_snapshot(&self) -> Vec<(&'static str, u64)> {
+        match self {
+            SwitchRecorder::Off => Vec::new(),
+            SwitchRecorder::On(m) => m.counter_snapshot(),
+        }
+    }
+    fn counter_restore(&mut self, name: &'static str, total: u64) {
+        forward!(self, counter_restore, name, total);
     }
 }
 

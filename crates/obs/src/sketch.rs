@@ -43,6 +43,30 @@ pub const DEFAULT_SKETCH_ALPHA: f64 = 0.01;
 /// valve, not a steady-state behaviour.
 pub const DEFAULT_MAX_BUCKETS: usize = 4096;
 
+/// The complete observable state of a [`QuantileSketch`] — the checkpoint
+/// form the serve snapshot format serializes. Excludes the transient
+/// search `hint` (behavior-neutral) and the derived `ln_gamma`.
+/// Round-trip contract: `QuantileSketch::from_state(s.state()) == s`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SketchState {
+    /// Relative accuracy α.
+    pub alpha: f64,
+    /// Bucket budget.
+    pub max_buckets: usize,
+    /// `(key, count)` pairs, ascending by key.
+    pub buckets: Vec<(i32, u64)>,
+    /// Low-side (≤ 0 / non-finite) observation count.
+    pub low: u64,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of finite observations.
+    pub sum: f64,
+    /// Raw running minimum (`+∞` when no finite observation yet).
+    pub min: f64,
+    /// Raw running maximum (`−∞` when no finite observation yet).
+    pub max: f64,
+}
+
 /// A mergeable log-bucketed quantile sketch (see the module docs for the
 /// error bound). Memory is O(`max_buckets`), independent of the number of
 /// observations.
@@ -299,6 +323,39 @@ impl QuantileSketch {
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
         self.collapse();
+    }
+
+    /// Capture the observable state for checkpointing.
+    pub fn state(&self) -> SketchState {
+        SketchState {
+            alpha: self.alpha,
+            max_buckets: self.max_buckets,
+            buckets: self.buckets.clone(),
+            low: self.low,
+            count: self.count,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+        }
+    }
+
+    /// Rebuild a sketch from a [`SketchState`]. Geometry is re-derived the
+    /// same way the constructor derives it, so a state captured from a
+    /// live sketch restores to an *equal* sketch (the search hint resets,
+    /// which is unobservable). Buckets are re-sorted defensively so a
+    /// hand-edited snapshot cannot corrupt the binary-search invariant.
+    pub fn from_state(s: SketchState) -> Self {
+        let mut out = QuantileSketch::with_max_buckets(s.alpha, s.max_buckets);
+        let mut buckets = s.buckets;
+        buckets.sort_by_key(|&(k, _)| k);
+        out.buckets = buckets;
+        out.low = s.low;
+        out.count = s.count;
+        out.sum = s.sum;
+        out.min = s.min;
+        out.max = s.max;
+        out.collapse();
+        out
     }
 }
 

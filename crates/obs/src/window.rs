@@ -15,7 +15,7 @@
 
 use std::collections::VecDeque;
 
-use crate::sketch::QuantileSketch;
+use crate::sketch::{QuantileSketch, SketchState};
 
 /// One closed or in-progress tumbling window.
 #[derive(Debug, Clone, PartialEq)]
@@ -223,6 +223,76 @@ impl WindowedSeries {
     pub fn retained(&self) -> usize {
         self.ring.len()
     }
+
+    /// Capture the complete series state for checkpointing.
+    pub fn state(&self) -> SeriesState {
+        SeriesState {
+            window_s: self.window_s,
+            alpha: self.alpha,
+            max_windows: self.max_windows,
+            windows: self
+                .ring
+                .iter()
+                .map(|w| WindowState {
+                    index: w.index,
+                    count: w.count,
+                    sum: w.sum,
+                    sketch: w.sketch.state(),
+                })
+                .collect(),
+            evicted_count: self.evicted_count,
+            evicted_sum: self.evicted_sum,
+        }
+    }
+
+    /// Rebuild a series from a [`SeriesState`] — the checkpoint/resume
+    /// inverse of [`WindowedSeries::state`].
+    pub fn from_state(s: SeriesState) -> Self {
+        let mut out = WindowedSeries::new(s.window_s, s.alpha, s.max_windows);
+        out.ring = s
+            .windows
+            .into_iter()
+            .map(|w| WindowStats {
+                index: w.index,
+                count: w.count,
+                sum: w.sum,
+                sketch: QuantileSketch::from_state(w.sketch),
+            })
+            .collect();
+        out.evicted_count = s.evicted_count;
+        out.evicted_sum = s.evicted_sum;
+        out
+    }
+}
+
+/// Checkpoint form of one retained window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowState {
+    /// Window index.
+    pub index: u64,
+    /// Observations in the window.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// The window's sketch state.
+    pub sketch: SketchState,
+}
+
+/// Checkpoint form of a whole [`WindowedSeries`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesState {
+    /// Window length, virtual seconds.
+    pub window_s: f64,
+    /// Sketch relative accuracy α.
+    pub alpha: f64,
+    /// Ring capacity.
+    pub max_windows: usize,
+    /// Retained windows, oldest first.
+    pub windows: Vec<WindowState>,
+    /// Evicted-window conservation count.
+    pub evicted_count: u64,
+    /// Evicted-window conservation sum.
+    pub evicted_sum: f64,
 }
 
 #[cfg(test)]

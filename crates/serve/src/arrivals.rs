@@ -17,6 +17,17 @@ pub struct Arrival {
     /// Request size, operations (the unit [`enprop_workloads`] node models
     /// rate in).
     pub ops: f64,
+    /// SLO class: 0 = latency-critical, ≥ 1 = best-effort. The emergency
+    /// ladder sheds high classes first (DESIGN.md §16).
+    pub class: u8,
+}
+
+impl Arrival {
+    /// A latency-critical (class-0) arrival — the common case and the
+    /// implied class of traces that predate the `class` column.
+    pub fn new(t_s: f64, ops: f64) -> Self {
+        Arrival { t_s, ops, class: 0 }
+    }
 }
 
 /// The arrival-rate process of a synthetic open-loop load generator.
@@ -113,10 +124,16 @@ pub struct SyntheticArrivals {
     model: ArrivalModel,
     gap_rng: FaultRng,
     size_rng: FaultRng,
+    /// Dedicated class stream: drawing (or not drawing) request classes
+    /// never perturbs gaps or sizes.
+    class_rng: FaultRng,
     t: f64,
     remaining: u64,
     ops_per_request: f64,
     ops_jitter: f64,
+    /// Probability an arrival is best-effort (class 1); 0 = all
+    /// latency-critical, the default.
+    best_effort: f64,
 }
 
 impl SyntheticArrivals {
@@ -147,11 +164,27 @@ impl SyntheticArrivals {
             model,
             gap_rng: FaultRng::from_key(&[seed, 0x61727269]),
             size_rng: FaultRng::from_key(&[seed, 0x73697a65]),
+            class_rng: FaultRng::from_key(&[seed, 0x636c6173]),
             t: 0.0,
             remaining: requests,
             ops_per_request,
             ops_jitter,
+            best_effort: 0.0,
         })
+    }
+
+    /// Mark a fraction of arrivals best-effort (class 1), drawn from a
+    /// dedicated stream so gaps and sizes are untouched. `frac` must be
+    /// in `[0, 1]`.
+    pub fn with_best_effort(mut self, frac: f64) -> Result<Self, EnpropError> {
+        if !frac.is_finite() || !(0.0..=1.0).contains(&frac) {
+            return Err(EnpropError::invalid_parameter(
+                "best_effort",
+                format!("must be in [0, 1], got {frac}"),
+            ));
+        }
+        self.best_effort = frac;
+        Ok(self)
     }
 
     /// Exponential gap at the envelope rate; `unit()` is in `[0, 1)`, so
@@ -177,11 +210,69 @@ impl SyntheticArrivals {
             }
         }
         let jitter = 1.0 + self.ops_jitter * (2.0 * self.size_rng.unit() - 1.0);
+        // Always draw the class so the stream's cursor advances uniformly
+        // whether or not best-effort traffic is enabled (checkpoint state
+        // stays a pure function of arrivals emitted).
+        let class = u8::from(self.class_rng.unit() < self.best_effort);
         Some(Arrival {
             t_s: self.t,
             ops: self.ops_per_request * jitter,
+            class,
         })
     }
+
+    /// Capture the generator's cursor — RNG states plus the time/count
+    /// position — for the serve snapshot format.
+    pub fn state(&self) -> SourceState {
+        SourceState::Synthetic {
+            gap: self.gap_rng.state(),
+            size: self.size_rng.state(),
+            class: self.class_rng.state(),
+            t: self.t,
+            remaining: self.remaining,
+        }
+    }
+
+    /// Restore the cursor captured by [`SyntheticArrivals::state`]. The
+    /// generator must have been constructed with the same model and
+    /// parameters as the one the state came from.
+    pub fn restore(&mut self, state: &SourceState) -> Result<(), EnpropError> {
+        let SourceState::Synthetic { gap, size, class, t, remaining } = state else {
+            return Err(EnpropError::invalid_config(
+                "snapshot source cursor is a replay cursor, but the run uses a synthetic generator",
+            ));
+        };
+        self.gap_rng = FaultRng::from_state(*gap);
+        self.size_rng = FaultRng::from_state(*size);
+        self.class_rng = FaultRng::from_state(*class);
+        self.t = *t;
+        self.remaining = *remaining;
+        Ok(())
+    }
+}
+
+/// Checkpoint cursor of an [`ArrivalSource`]: everything needed to resume
+/// the stream exactly where a snapshot left it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SourceState {
+    /// A [`SyntheticArrivals`] cursor: the three RNG states plus position.
+    Synthetic {
+        /// Gap-stream xoshiro state.
+        gap: [u64; 4],
+        /// Size-stream xoshiro state.
+        size: [u64; 4],
+        /// Class-stream xoshiro state.
+        class: [u64; 4],
+        /// Virtual time of the last emitted arrival.
+        t: f64,
+        /// Arrivals still to emit.
+        remaining: u64,
+    },
+    /// A [`ReplayCursor`] position.
+    Replay {
+        /// Index of the next trace arrival to emit.
+        next: usize,
+    },
 }
 
 /// What feeds the controller: a live generator or a recorded trace.
@@ -199,6 +290,35 @@ impl ArrivalSource {
         match self {
             ArrivalSource::Synthetic(s) => s.next_arrival(),
             ArrivalSource::Replay(r) => r.next_arrival(),
+        }
+    }
+
+    /// Capture the stream cursor for checkpointing.
+    pub fn state(&self) -> SourceState {
+        match self {
+            ArrivalSource::Synthetic(s) => s.state(),
+            ArrivalSource::Replay(r) => SourceState::Replay { next: r.position() },
+        }
+    }
+
+    /// Restore a cursor captured by [`ArrivalSource::state`] onto a
+    /// freshly-constructed source of the *same kind and parameters*.
+    /// A kind mismatch (snapshot from a replay resumed against a
+    /// generator, or vice versa) is a typed configuration error.
+    pub fn restore(&mut self, state: &SourceState) -> Result<(), EnpropError> {
+        match (self, state) {
+            (ArrivalSource::Synthetic(s), st @ SourceState::Synthetic { .. }) => s.restore(st),
+            (ArrivalSource::Replay(r), SourceState::Replay { next }) => r.seek(*next),
+            (ArrivalSource::Synthetic(_), SourceState::Replay { .. }) => {
+                Err(EnpropError::invalid_config(
+                    "snapshot source cursor is a replay cursor, but the run uses a synthetic generator",
+                ))
+            }
+            (ArrivalSource::Replay(_), SourceState::Synthetic { .. }) => {
+                Err(EnpropError::invalid_config(
+                    "snapshot source cursor is a synthetic generator, but the run replays a trace",
+                ))
+            }
         }
     }
 }

@@ -16,14 +16,17 @@ use std::collections::BTreeMap;
 
 use enprop_clustersim::ClusterSpec;
 use enprop_faults::{
-    EnpropError, FaultKind, FaultPlan, FaultRng, GroupFaultProfile, MtbfModel,
+    DomainFaultKind, DomainFaultProfile, EnpropError, FaultKind, FaultPlan, FaultRng,
+    GroupFaultProfile, MtbfModel, Topology, TopologyFaultPlan,
 };
 use enprop_obs::{EventKind, MemoryRecorder};
 use enprop_workloads::Workload;
 
 use crate::arrivals::{ArrivalModel, ArrivalSource, SyntheticArrivals};
 use crate::config::ServeConfig;
-use crate::controller::{cluster_capacity_ops_s, default_ops_per_request, Controller};
+use crate::controller::{
+    cluster_capacity_ops_s, default_ops_per_request, Controller, RunHooks, RunOutcome,
+};
 use crate::report::ServeReport;
 
 /// What one swept fault plan did to the invariants.
@@ -82,6 +85,25 @@ impl ChaosOutcome {
             .iter()
             .map(|p| p.report.crashes + p.report.stalls + p.report.stragglers)
             .sum()
+    }
+
+    /// Total correlated domain events (rack crashes, PDU losses,
+    /// partitions, power emergencies) across the sweep.
+    pub fn total_domain_faults(&self) -> u64 {
+        self.plans
+            .iter()
+            .map(|p| {
+                p.report.rack_crashes
+                    + p.report.pdu_losses
+                    + p.report.partitions
+                    + p.report.power_emergencies
+            })
+            .sum()
+    }
+
+    /// Circuit-breaker opens across the sweep.
+    pub fn breaker_opens(&self) -> u64 {
+        self.plans.iter().map(|p| p.report.breaker_opens).sum()
     }
 
     /// One-line verdict for smoke gates (ends with `chaos: OK` /
@@ -145,6 +167,55 @@ pub fn sweep_plan(seed: u64, index: u32, group_count: usize) -> FaultPlan {
         groups.push(GroupFaultProfile { mtbf, kinds });
     }
     FaultPlan { seed: seed ^ u64::from(index).wrapping_mul(0x9e3779b97f4a7c15), groups }
+}
+
+/// Derive domain sweep plan `index` from `seed`: randomized rack / PDU /
+/// cluster fault levels over a `nodes_per_rack = 2`, `racks_per_pdu = 2`
+/// topology — rack crashes, partitions, PDU losses and cluster-wide power
+/// emergencies with randomized caps. Deterministic in
+/// `(seed, index, n_nodes)`.
+pub fn sweep_domain_plan(
+    seed: u64,
+    index: u32,
+    n_nodes: usize,
+) -> Result<TopologyFaultPlan, EnpropError> {
+    let topology = Topology::new(n_nodes, 2, 2)?;
+    let mut rng = FaultRng::from_key(&[seed, 0x646f6d61696e, u64::from(index), n_nodes as u64]);
+    // Rack-level MTBFs in the 6–36 s range: several correlated blasts per
+    // short run; PDUs fault half as often, the cluster budget roughly as
+    // often as a rack.
+    let rack_mtbf_s = 6.0 + rng.unit() * 30.0;
+    let rack = DomainFaultProfile {
+        mtbf: MtbfModel::Exponential { mtbf_s: rack_mtbf_s },
+        kinds: vec![
+            (1.0 + rng.unit(), DomainFaultKind::RackCrash),
+            (
+                rng.unit(),
+                DomainFaultKind::NetworkPartition { duration_s: 1.0 + rng.unit() * 3.0 },
+            ),
+        ],
+    };
+    let pdu = DomainFaultProfile {
+        mtbf: MtbfModel::Exponential { mtbf_s: rack_mtbf_s * 2.0 },
+        kinds: vec![(1.0, DomainFaultKind::PduLoss)],
+    };
+    let cluster = DomainFaultProfile {
+        mtbf: MtbfModel::Exponential { mtbf_s: 8.0 + rng.unit() * 20.0 },
+        kinds: vec![(
+            1.0,
+            DomainFaultKind::PowerEmergency {
+                cap_w: 20.0 + rng.unit() * 120.0,
+                duration_s: 2.0 + rng.unit() * 8.0,
+            },
+        )],
+    };
+    Ok(TopologyFaultPlan {
+        seed: seed ^ u64::from(index).wrapping_mul(0x9e3779b97f4a7c15),
+        topology,
+        rack,
+        pdu,
+        cluster,
+    })
 }
 
 /// Check span balance on a recorder: every `(track, name, id)` span begin
@@ -220,6 +291,76 @@ pub fn chaos_sweep(
     Ok(out)
 }
 
+/// [`chaos_sweep`], with a correlated [`sweep_domain_plan`] layered over
+/// each per-node plan: every run sees rack crashes, PDU losses,
+/// partitions and cluster-wide power emergencies on top of its node-level
+/// chaos, and the same invariants must hold.
+pub fn domain_chaos_sweep(
+    workload: &Workload,
+    cluster: &ClusterSpec,
+    cfg: &ServeConfig,
+    plans: u32,
+    requests: u64,
+    utilization: f64,
+) -> Result<ChaosOutcome, EnpropError> {
+    if !utilization.is_finite() || utilization <= 0.0 {
+        return Err(EnpropError::invalid_parameter(
+            "utilization",
+            format!("must be finite and > 0, got {utilization}"),
+        ));
+    }
+    let ops = default_ops_per_request(workload, cluster)?;
+    let rate = utilization * cluster_capacity_ops_s(workload, cluster)? / ops;
+    let n_nodes: usize = cluster.groups.iter().map(|g| g.count as usize).sum();
+    let mut out = ChaosOutcome {
+        plans: Vec::with_capacity(plans as usize),
+        run_errors: Vec::new(),
+    };
+    for p in 0..plans {
+        let plan = sweep_plan(cfg.seed, p, cluster.groups.len());
+        let topo = sweep_domain_plan(cfg.seed, p, n_nodes)?;
+        let mut plan_cfg = cfg.clone();
+        plan_cfg.seed = cfg.seed.wrapping_add(u64::from(p));
+        let arrivals = SyntheticArrivals::new(
+            ArrivalModel::Poisson { rate },
+            requests,
+            ops,
+            0.2,
+            plan_cfg.seed,
+        )?;
+        let mut source = ArrivalSource::Synthetic(arrivals);
+        let mut rec = MemoryRecorder::new();
+        let mut hooks = RunHooks { live: &mut |_| {}, checkpoint: None, kill_after_events: None };
+        let run = Controller::run_full(
+            workload,
+            cluster,
+            &plan,
+            Some(&topo),
+            &plan_cfg,
+            &mut source,
+            &mut rec,
+            &mut hooks,
+        );
+        match run {
+            Ok(RunOutcome::Completed(report)) => {
+                let conservation_ok = report.conservation_ok();
+                out.plans.push(PlanOutcome {
+                    plan: p,
+                    report: *report,
+                    conservation_ok,
+                    spans_balanced: spans_balanced(&rec),
+                });
+            }
+            // Unreachable: no kill hook was installed.
+            Ok(RunOutcome::Killed { .. }) => {
+                out.run_errors.push((p, "killed without a kill hook".to_string()));
+            }
+            Err(e) => out.run_errors.push((p, e.to_string())),
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     #![allow(clippy::unwrap_used)]
@@ -256,5 +397,43 @@ mod tests {
         let cfg = ServeConfig::new(1);
         assert!(chaos_sweep(&w, &c, &cfg, 1, 10, 0.0).is_err());
         assert!(chaos_sweep(&w, &c, &cfg, 1, 10, f64::NAN).is_err());
+        assert!(domain_chaos_sweep(&w, &c, &cfg, 1, 10, 0.0).is_err());
+    }
+
+    #[test]
+    fn domain_sweep_plans_are_deterministic() {
+        let a = sweep_domain_plan(42, 3, 10).unwrap();
+        let b = sweep_domain_plan(42, 3, 10).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, sweep_domain_plan(42, 4, 10).unwrap());
+        assert!(!a.rack.is_inert() && !a.pdu.is_inert() && !a.cluster.is_inert());
+    }
+
+    /// The acceptance gate: a rack-loss + power-emergency sweep preserves
+    /// conservation with circuit breakers engaged.
+    #[test]
+    fn domain_sweep_conserves_with_breakers_engaged() {
+        let w = catalog::by_name("memcached").unwrap();
+        let c = ClusterSpec::a9_k10(3, 2);
+        let mut cfg = ServeConfig::new(101);
+        cfg.repair_s = 5.0;
+        cfg.breaker_failures = 2; // trip on short timeout bursts
+        cfg.breaker_open_s = 1.0;
+        let out = domain_chaos_sweep(&w, &c, &cfg, 4, 600, 0.6).unwrap();
+        assert!(out.all_ok(), "{}", out.summary_line());
+        assert!(out.total_faults() > 0, "node-level chaos must still inject");
+        assert!(
+            out.total_domain_faults() > 0,
+            "correlated domain events must fire: {}",
+            out.summary_line()
+        );
+        assert!(
+            out.breaker_opens() > 0,
+            "the sweep must engage circuit breakers at least once"
+        );
+        assert!(
+            out.plans.iter().any(|p| p.report.power_emergencies > 0),
+            "at least one plan must see a power emergency"
+        );
     }
 }

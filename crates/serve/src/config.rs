@@ -80,6 +80,17 @@ pub struct ServeConfig {
     /// Fast-window burn rate below which the alert clears and shed mode
     /// exits.
     pub burn_exit: f64,
+    /// Bound on the dispatcher's pending queue (requests admitted but
+    /// waiting for a dispatchable node). Arrivals beyond it are shed as
+    /// backpressure instead of growing the queue without bound.
+    pub max_pending: usize,
+    /// Consecutive timeouts on one group before its circuit breaker
+    /// opens (`0` disables breakers entirely).
+    pub breaker_failures: u32,
+    /// How long an open breaker blocks a group before the half-open
+    /// probe, seconds. The actual re-probe delay is jittered by a seeded
+    /// stream so repeatedly-failing groups don't thunder in lockstep.
+    pub breaker_open_s: f64,
 }
 
 impl ServeConfig {
@@ -109,6 +120,9 @@ impl ServeConfig {
             burn_slow_windows: 12,
             burn_threshold: 2.0,
             burn_exit: 1.0,
+            max_pending: 4096,
+            breaker_failures: 8,
+            breaker_open_s: 10.0,
         }
     }
 
@@ -199,6 +213,18 @@ impl ServeConfig {
                 ),
             ));
         }
+        if self.max_pending == 0 {
+            return Err(EnpropError::invalid_parameter(
+                "max_pending",
+                "must be ≥ 1 (0 would shed every queued request)",
+            ));
+        }
+        if !self.breaker_open_s.is_finite() || self.breaker_open_s <= 0.0 {
+            return Err(EnpropError::invalid_parameter(
+                "breaker_open_s",
+                format!("must be finite and > 0, got {}", self.breaker_open_s),
+            ));
+        }
         Ok(())
     }
 }
@@ -261,6 +287,23 @@ mod tests {
 
         let mut c = ServeConfig::new(1);
         c.burn_slow_windows = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn resilience_fields_are_validated() {
+        let mut c = ServeConfig::new(1);
+        c.max_pending = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = ServeConfig::new(1);
+        c.breaker_failures = 0; // breakers off is legal
+        assert!(c.validate().is_ok());
+
+        let mut c = ServeConfig::new(1);
+        c.breaker_open_s = 0.0;
+        assert!(c.validate().is_err());
+        c.breaker_open_s = f64::INFINITY;
         assert!(c.validate().is_err());
     }
 }

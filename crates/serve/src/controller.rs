@@ -25,12 +25,36 @@
 //!   randomness is keyed ([`FaultPlan`] windows, arrival streams), and
 //!   event ordering uses `total_cmp` plus a sequence number — the same
 //!   inputs replay bit-identically on any host.
+//!
+//! # Correlated failures and emergencies (DESIGN.md §16)
+//!
+//! An optional [`TopologyFaultPlan`] layers *blast-radius* events on top
+//! of the per-node plan: rack crashes, PDU losses (crash **and** zero
+//! watts until repair), network partitions (correlated stalls) and
+//! cluster-wide power emergencies. An emergency triggers the graceful
+//! degradation ladder — DVFS brownout, then parking the wimpiest nodes,
+//! then shedding by SLO class — one rung per control tick, every action
+//! exported as a `ctl.emergency.*` event. Per-group circuit breakers
+//! (Closed → Open → HalfOpen with a seeded-jitter probe) stop the
+//! dispatcher from hammering a failing group, and the pending queue is
+//! bounded (`max_pending`) with overflow shed as backpressure.
+//!
+//! # Checkpoint / resume
+//!
+//! [`Controller::run_full`] can invoke a checkpoint hook with a
+//! crash-consistent serialized snapshot at every closed obs window, and
+//! [`Controller::resume_full`] restores one and continues the event loop
+//! — event-for-event and joule-for-joule identical to the uninterrupted
+//! run (property-tested in `tests/resume_props.rs`).
 
 use std::cmp::{Ordering, Reverse};
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 use enprop_clustersim::ClusterSpec;
-use enprop_faults::{EnpropError, FaultKind, FaultPlan};
+use enprop_faults::{
+    Domain, DomainEvent, DomainFaultKind, EnpropError, FaultKind, FaultPlan, FaultRng,
+    TopologyFaultPlan,
+};
 use enprop_obs::{EnergyOutcome, QuantileSketch, Recorder, Track};
 use enprop_workloads::{SingleNodeModel, Workload};
 
@@ -44,7 +68,7 @@ use crate::report::ServeReport;
 /// tracked separately and only becomes visible through timeouts and health
 /// checks).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Admin {
+pub(crate) enum Admin {
     /// Accepting dispatches.
     Active,
     /// Finishing its backlog, accepting nothing new; parks when empty.
@@ -57,7 +81,7 @@ enum Admin {
 
 /// Where a request currently lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Loc {
+pub(crate) enum Loc {
     /// Waiting at the dispatcher (no eligible node yet).
     Pending,
     /// Waiting out a retry backoff.
@@ -67,74 +91,109 @@ enum Loc {
 }
 
 #[derive(Debug, Clone)]
-struct Req {
-    arrived: f64,
-    ops: f64,
+pub(crate) struct Req {
+    pub(crate) arrived: f64,
+    pub(crate) ops: f64,
+    /// SLO class (0 = latency-critical; the emergency ladder sheds high
+    /// classes first).
+    pub(crate) class: u8,
     /// Budget-consuming retries so far.
-    attempt: u32,
+    pub(crate) attempt: u32,
     /// Placement generation: bumped on every (re-)placement so stale
     /// timeout events cancel lazily.
-    dispatch: u32,
-    loc: Loc,
+    pub(crate) dispatch: u32,
+    pub(crate) loc: Loc,
     /// Node to avoid on the next dispatch (the one that just timed out).
-    exclude: Option<usize>,
-    traced: bool,
+    pub(crate) exclude: Option<usize>,
+    pub(crate) traced: bool,
 }
 
 #[derive(Debug, Clone)]
-struct Running {
-    req: u64,
-    remaining_ops: f64,
+pub(crate) struct Running {
+    pub(crate) req: u64,
+    pub(crate) remaining_ops: f64,
     /// Busy joules integrated into this request so far — attributed to
     /// its outcome (completed/retried/shed) when its fate resolves.
-    energy_j: f64,
+    pub(crate) energy_j: f64,
 }
 
 #[derive(Debug)]
-struct Node {
-    group: usize,
-    in_group: u16,
-    admin: Admin,
+pub(crate) struct Node {
+    pub(crate) group: usize,
+    pub(crate) in_group: u16,
+    pub(crate) admin: Admin,
     /// Fail-stop crash not yet detected/repaired.
-    crashed: bool,
-    stalled_until: f64,
-    slowdown: f64,
-    slow_until: f64,
-    queue: VecDeque<u64>,
-    queued_ops: f64,
-    current: Option<Running>,
+    pub(crate) crashed: bool,
+    /// PDU loss: the node draws zero watts until repaired (a crashed but
+    /// powered node keeps burning idle watts; an unpowered one is dark).
+    pub(crate) unpowered: bool,
+    pub(crate) stalled_until: f64,
+    pub(crate) slowdown: f64,
+    pub(crate) slow_until: f64,
+    pub(crate) queue: VecDeque<u64>,
+    pub(crate) queued_ops: f64,
+    pub(crate) current: Option<Running>,
     /// Completion-schedule epoch (lazy cancellation).
-    epoch: u64,
+    pub(crate) epoch: u64,
     /// Accounting frontier: energy/progress integrated up to here.
-    acct_t: f64,
-    energy_j: f64,
+    pub(crate) acct_t: f64,
+    pub(crate) energy_j: f64,
     /// Joules accrued since the last plane flush (busy / ideal / idle) —
     /// the hot `advance` path adds to these plain fields and the plane
     /// sees them batched per window roll, not per advance.
-    win_busy_j: f64,
-    win_ideal_j: f64,
-    win_idle_j: f64,
+    pub(crate) win_busy_j: f64,
+    pub(crate) win_ideal_j: f64,
+    pub(crate) win_idle_j: f64,
     /// An un-closed `node.down` span is open on this node's track.
-    down_span_open: bool,
+    pub(crate) down_span_open: bool,
+}
+
+/// A per-group circuit breaker (DESIGN.md §16). Consecutive dispatch
+/// timeouts open it; an open breaker blocks dispatch to the whole group
+/// until a seeded-jitter hold expires, then a single half-open probe
+/// decides between closing and re-opening.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Breaker {
+    /// Dispatching normally; counts consecutive timeouts.
+    Closed {
+        /// Consecutive timeouts since the last success.
+        fails: u32,
+    },
+    /// No dispatches until `until_s` (jittered by a seeded stream keyed
+    /// on the reopen count so repeat offenders don't probe in lockstep).
+    Open {
+        /// Virtual time the hold expires.
+        until_s: f64,
+        /// How many times this breaker has re-opened.
+        reopens: u32,
+    },
+    /// Admits exactly one probe request; its fate decides the next state.
+    HalfOpen {
+        /// The in-flight probe's request id, if one was dispatched.
+        probe: Option<u64>,
+        /// Reopen count carried for the next jitter draw.
+        reopens: u32,
+    },
 }
 
 /// Per-group rate/power tables at every DVFS level, plus the group's
 /// current level (DVFS decisions step whole groups, matching the paper's
 /// per-type operating tuples).
 #[derive(Debug)]
-struct GroupModel {
-    rate_at: Vec<f64>,
-    busy_w_at: Vec<f64>,
-    idle_w: f64,
-    freq_idx: usize,
+pub(crate) struct GroupModel {
+    pub(crate) rate_at: Vec<f64>,
+    pub(crate) busy_w_at: Vec<f64>,
+    pub(crate) idle_w: f64,
+    pub(crate) freq_idx: usize,
     /// Peak busy power across DVFS levels — the ideal-proportionality
     /// reference of the EP index (DESIGN.md §14).
-    peak_busy_w: f64,
+    pub(crate) peak_busy_w: f64,
+    pub(crate) breaker: Breaker,
 }
 
 #[derive(Debug, Clone)]
-enum EvKind {
-    Arrival { ops: f64 },
+pub(crate) enum EvKind {
+    Arrival { ops: f64, class: u8 },
     Completion { node: usize, epoch: u64 },
     Timeout { req: u64, dispatch: u32 },
     Redispatch { req: u64 },
@@ -146,13 +205,20 @@ enum EvKind {
     HealthCheck,
     ControlTick,
     DrainDeadline,
+    /// Materialize the next window of correlated domain faults.
+    DomainWindow { window: u32 },
+    /// A correlated fault fires (rack crash, PDU loss, partition,
+    /// power emergency).
+    DomainFault { event: DomainEvent },
+    /// A power emergency's hold expires.
+    EmergencyEnd,
 }
 
 #[derive(Debug, Clone)]
-struct Ev {
-    t: f64,
-    seq: u64,
-    kind: EvKind,
+pub(crate) struct Ev {
+    pub(crate) t: f64,
+    pub(crate) seq: u64,
+    pub(crate) kind: EvKind,
 }
 
 impl PartialEq for Ev {
@@ -179,61 +245,114 @@ const CAPACITY_MARGIN: f64 = 1.3;
 /// Shed mode exits when the window p95 recovers below this SLO fraction.
 const SHED_EXIT_P95_FRACTION: f64 = 0.8;
 
+/// Side hooks of a [`Controller::run_full`] invocation: the live-report
+/// callback, the checkpoint sink, and the simulated-crash switch.
+pub struct RunHooks<'h> {
+    /// Invoked with every closed [`WindowReport`] (`--live-report`).
+    pub live: &'h mut dyn FnMut(&WindowReport),
+    /// Invoked with the serialized crash-consistent snapshot at every
+    /// closed obs window (`--checkpoint-out`). Requires the obs plane
+    /// (`obs_window_s > 0`) — with the plane off no window ever closes
+    /// and the hook never fires.
+    pub checkpoint: Option<&'h mut dyn FnMut(&str)>,
+    /// Abandon the run (as a crash would) after this many processed
+    /// events — the chaos harness's kill switch.
+    pub kill_after_events: Option<u64>,
+}
+
+/// How a [`Controller::run_full`] run ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunOutcome {
+    /// Ran to completion (clean drain or drain-deadline force stop).
+    /// Boxed: the report is ~40 fields wide and the variant would dwarf
+    /// [`RunOutcome::Killed`] on the stack otherwise.
+    Completed(Box<ServeReport>),
+    /// Killed by [`RunHooks::kill_after_events`] — no report; the run
+    /// "crashed" and its last checkpoint is the resume point.
+    Killed {
+        /// Events processed when the kill fired.
+        events: u64,
+        /// Virtual time of the kill.
+        at_s: f64,
+    },
+}
+
 /// The online serving controller. Construct-and-run via
 /// [`Controller::run`]; all state is internal to one run.
 #[derive(Debug)]
 pub struct Controller<'a> {
-    cfg: &'a ServeConfig,
+    pub(crate) cfg: &'a ServeConfig,
     plan: &'a FaultPlan,
-    groups: Vec<GroupModel>,
-    nodes: Vec<Node>,
+    topo: Option<&'a TopologyFaultPlan>,
+    pub(crate) groups: Vec<GroupModel>,
+    pub(crate) nodes: Vec<Node>,
 
-    heap: BinaryHeap<Reverse<Ev>>,
-    seq: u64,
-    now: f64,
-    events: u64,
+    pub(crate) heap: BinaryHeap<Reverse<Ev>>,
+    pub(crate) seq: u64,
+    pub(crate) now: f64,
+    pub(crate) events: u64,
 
-    inflight: BTreeMap<u64, Req>,
-    pending: VecDeque<u64>,
-    next_req_id: u64,
-    arrivals_done: bool,
-    drain_armed: bool,
+    pub(crate) inflight: BTreeMap<u64, Req>,
+    pub(crate) pending: VecDeque<u64>,
+    pub(crate) next_req_id: u64,
+    pub(crate) arrivals_done: bool,
+    pub(crate) drain_armed: bool,
 
-    shed_mode: bool,
-    shed_entries: u64,
-    cooldown: u32,
+    pub(crate) shed_mode: bool,
+    pub(crate) shed_entries: u64,
+    pub(crate) cooldown: u32,
 
     // Per-tick measurement window (bounded-memory sketch, reset per tick).
-    tick_sketch: QuantileSketch,
-    window_arrival_ops: f64,
+    pub(crate) tick_sketch: QuantileSketch,
+    pub(crate) window_arrival_ops: f64,
 
     // Run-level accounting (bounded-memory sketch; `exact_quantile` stays
     // as the test oracle, never as run state).
-    run_sketch: QuantileSketch,
-    resp_sum: f64,
+    pub(crate) run_sketch: QuantileSketch,
+    pub(crate) resp_sum: f64,
 
     /// The windowed observability plane (`None` when `obs_window_s == 0`).
-    plane: Option<ObsPlane>,
+    pub(crate) plane: Option<ObsPlane>,
     /// Cached [`ObsPlane::next_close_s`] (`f64::INFINITY` with the plane
     /// off): the per-event roll guard is one float compare instead of an
     /// `Option` probe into the plane struct.
-    plane_next_close_s: f64,
-    arrivals: u64,
-    completions: u64,
-    shed_admission: u64,
-    shed_retry: u64,
-    timeouts: u64,
-    retries: u64,
-    reroutes: u64,
-    crashes: u64,
-    stalls: u64,
-    stragglers: u64,
-    repairs: u64,
-    activations: u64,
-    deactivations: u64,
-    dvfs_up: u64,
-    dvfs_down: u64,
-    shed_toggles: u64,
+    pub(crate) plane_next_close_s: f64,
+
+    /// Temporary cluster cap while a power emergency holds
+    /// (`f64::INFINITY` = none).
+    pub(crate) emergency_cap_w: f64,
+    /// When the current emergency expires (`f64::NEG_INFINITY` = none).
+    pub(crate) emergency_until_s: f64,
+    /// Next degradation-ladder rung to try (0 = brownout).
+    pub(crate) emergency_level: u32,
+    /// Arrivals with `class >= floor` are shed (ladder rungs 2–3 lower
+    /// it; `u8::MAX` = shed nothing by class).
+    pub(crate) shed_class_floor: u8,
+
+    pub(crate) arrivals: u64,
+    pub(crate) completions: u64,
+    pub(crate) shed_admission: u64,
+    pub(crate) shed_retry: u64,
+    pub(crate) shed_backpressure: u64,
+    pub(crate) timeouts: u64,
+    pub(crate) retries: u64,
+    pub(crate) reroutes: u64,
+    pub(crate) crashes: u64,
+    pub(crate) stalls: u64,
+    pub(crate) stragglers: u64,
+    pub(crate) repairs: u64,
+    pub(crate) activations: u64,
+    pub(crate) deactivations: u64,
+    pub(crate) dvfs_up: u64,
+    pub(crate) dvfs_down: u64,
+    pub(crate) shed_toggles: u64,
+    pub(crate) rack_crashes: u64,
+    pub(crate) pdu_losses: u64,
+    pub(crate) partitions: u64,
+    pub(crate) power_emergencies: u64,
+    pub(crate) emergency_actions: u64,
+    pub(crate) breaker_opens: u64,
+    pub(crate) breaker_closes: u64,
 }
 
 impl<'a> Controller<'a> {
@@ -263,17 +382,75 @@ impl<'a> Controller<'a> {
         rec: &mut R,
         live: &mut dyn FnMut(&WindowReport),
     ) -> Result<ServeReport, EnpropError> {
+        let mut hooks = RunHooks { live, checkpoint: None, kill_after_events: None };
+        match Controller::run_full(workload, cluster, plan, None, cfg, source, rec, &mut hooks)? {
+            RunOutcome::Completed(r) => Ok(*r),
+            // Unreachable: no kill hook was installed.
+            RunOutcome::Killed { events, at_s } => Err(EnpropError::invalid_config(format!(
+                "run killed at event {events} (t={at_s}) without a kill hook"
+            ))),
+        }
+    }
+
+    /// The full-surface entry point: correlated domain faults (`topo`),
+    /// checkpointing and the kill switch, on top of everything
+    /// [`Controller::run_live`] does.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_full<R: Recorder>(
+        workload: &Workload,
+        cluster: &ClusterSpec,
+        plan: &'a FaultPlan,
+        topo: Option<&'a TopologyFaultPlan>,
+        cfg: &'a ServeConfig,
+        source: &mut ArrivalSource,
+        rec: &mut R,
+        hooks: &mut RunHooks<'_>,
+    ) -> Result<RunOutcome, EnpropError> {
         cfg.validate()?;
         plan.validate()?;
-        let mut c = Controller::new(workload, cluster, plan, cfg)?;
+        let mut c = Controller::new(workload, cluster, plan, topo, cfg)?;
         c.bootstrap(source, rec);
-        c.event_loop(source, rec, live)
+        c.event_loop(source, rec, hooks)
+    }
+
+    /// Restore `snapshot` (produced by the checkpoint hook) onto a fresh
+    /// controller built from the *same* workload / cluster / plans /
+    /// config, seek `source` to the snapshotted cursor, and continue the
+    /// event loop. The continuation is event-for-event and
+    /// joule-for-joule identical to the uninterrupted run; any
+    /// disagreement between the snapshot and the provided inputs is a
+    /// typed configuration error (exit 2), never a silent divergence.
+    #[allow(clippy::too_many_arguments)]
+    pub fn resume_full<R: Recorder>(
+        workload: &Workload,
+        cluster: &ClusterSpec,
+        plan: &'a FaultPlan,
+        topo: Option<&'a TopologyFaultPlan>,
+        cfg: &'a ServeConfig,
+        source: &mut ArrivalSource,
+        rec: &mut R,
+        snapshot: &str,
+        hooks: &mut RunHooks<'_>,
+    ) -> Result<RunOutcome, EnpropError> {
+        cfg.validate()?;
+        plan.validate()?;
+        let mut c = Controller::new(workload, cluster, plan, topo, cfg)?;
+        let restored = crate::snapshot::restore(&mut c, snapshot)?;
+        source.restore(&restored.source)?;
+        // Counter names are `'static` literals at emission time but arrive
+        // from the snapshot as parsed text, so intern each one. Bounded:
+        // a few short strings, once per resume.
+        for (name, total) in restored.counters {
+            rec.counter_restore(Box::leak(name.into_boxed_str()), total);
+        }
+        c.event_loop(source, rec, hooks)
     }
 
     fn new(
         workload: &Workload,
         cluster: &ClusterSpec,
         plan: &'a FaultPlan,
+        topo: Option<&'a TopologyFaultPlan>,
         cfg: &'a ServeConfig,
     ) -> Result<Self, EnpropError> {
         let mut groups = Vec::with_capacity(cluster.groups.len());
@@ -319,6 +496,7 @@ impl<'a> Controller<'a> {
                     in_group,
                     admin: Admin::Active,
                     crashed: false,
+                    unpowered: false,
                     stalled_until: f64::NEG_INFINITY,
                     slowdown: 1.0,
                     slow_until: f64::NEG_INFINITY,
@@ -341,6 +519,7 @@ impl<'a> Controller<'a> {
                 idle_w: g.spec.power.sys_idle_w,
                 freq_idx,
                 peak_busy_w,
+                breaker: Breaker::Closed { fails: 0 },
             });
         }
         if nodes.is_empty() {
@@ -348,10 +527,21 @@ impl<'a> Controller<'a> {
                 workload: workload.name.to_string(),
             });
         }
+        if let Some(t) = topo {
+            t.validate()?;
+            if t.topology.nodes != nodes.len() {
+                return Err(EnpropError::invalid_config(format!(
+                    "topology covers {} nodes but the cluster has {}",
+                    t.topology.nodes,
+                    nodes.len()
+                )));
+            }
+        }
         let n_groups = groups.len();
         Ok(Controller {
             cfg,
             plan,
+            topo,
             groups,
             nodes,
             heap: BinaryHeap::new(),
@@ -388,10 +578,15 @@ impl<'a> Controller<'a> {
             } else {
                 f64::INFINITY
             },
+            emergency_cap_w: f64::INFINITY,
+            emergency_until_s: f64::NEG_INFINITY,
+            emergency_level: 0,
+            shed_class_floor: u8::MAX,
             arrivals: 0,
             completions: 0,
             shed_admission: 0,
             shed_retry: 0,
+            shed_backpressure: 0,
             timeouts: 0,
             retries: 0,
             reroutes: 0,
@@ -404,6 +599,13 @@ impl<'a> Controller<'a> {
             dvfs_up: 0,
             dvfs_down: 0,
             shed_toggles: 0,
+            rack_crashes: 0,
+            pdu_losses: 0,
+            partitions: 0,
+            power_emergencies: 0,
+            emergency_actions: 0,
+            breaker_opens: 0,
+            breaker_closes: 0,
         })
     }
 
@@ -427,7 +629,7 @@ impl<'a> Controller<'a> {
         match source.next_arrival() {
             Some(a) => {
                 let t = if a.t_s > self.now { a.t_s } else { self.now };
-                self.push(t, EvKind::Arrival { ops: a.ops });
+                self.push(t, EvKind::Arrival { ops: a.ops, class: a.class });
             }
             None => {
                 self.arrivals_done = true;
@@ -446,6 +648,9 @@ impl<'a> Controller<'a> {
         self.push(self.cfg.health_interval_s, EvKind::HealthCheck);
         for i in 0..self.nodes.len() {
             self.push(0.0, EvKind::FaultWindow { node: i, window: 0 });
+        }
+        if self.topo.is_some_and(|t| !t.is_inert()) {
+            self.push(0.0, EvKind::DomainWindow { window: 0 });
         }
     }
 
@@ -470,8 +675,8 @@ impl<'a> Controller<'a> {
         &mut self,
         source: &mut ArrivalSource,
         rec: &mut R,
-        live: &mut dyn FnMut(&WindowReport),
-    ) -> Result<ServeReport, EnpropError> {
+        hooks: &mut RunHooks<'_>,
+    ) -> Result<RunOutcome, EnpropError> {
         let mut forced = false;
         while !self.done() {
             let Some(Reverse(ev)) = self.heap.pop() else {
@@ -483,7 +688,23 @@ impl<'a> Controller<'a> {
             };
             debug_assert!(ev.t >= self.now, "time went backwards");
             self.now = ev.t;
-            self.roll_plane(rec, live);
+            let closing = self.now >= self.plane_next_close_s;
+            self.roll_plane(rec, &mut *hooks.live);
+            // Snapshot at window boundaries, after the roll: the plane
+            // has already tumbled, so a resumed run never re-closes the
+            // window; the just-popped event is serialized back into the
+            // heap section and is the first thing the resume processes.
+            if closing {
+                if let Some(cp) = hooks.checkpoint.as_mut() {
+                    let snap = crate::snapshot::serialize(
+                        self,
+                        &ev,
+                        &source.state(),
+                        &rec.counter_snapshot(),
+                    );
+                    cp(&snap);
+                }
+            }
             self.events += 1;
             if self.events > self.event_budget() {
                 return Err(EnpropError::EventBudgetExceeded {
@@ -492,7 +713,7 @@ impl<'a> Controller<'a> {
                 });
             }
             match ev.kind {
-                EvKind::Arrival { ops } => self.on_arrival(ops, source, rec),
+                EvKind::Arrival { ops, class } => self.on_arrival(ops, class, source, rec),
                 EvKind::Completion { node, epoch } => self.on_completion(node, epoch, rec),
                 EvKind::Timeout { req, dispatch } => self.on_timeout(req, dispatch, rec),
                 EvKind::Redispatch { req } => self.on_redispatch(req, rec),
@@ -509,9 +730,21 @@ impl<'a> Controller<'a> {
                     }
                     break;
                 }
+                EvKind::DomainWindow { window } => self.on_domain_window(window),
+                EvKind::DomainFault { event } => self.on_domain_fault(event, rec),
+                EvKind::EmergencyEnd => self.on_emergency_end(rec),
+            }
+            if hooks.kill_after_events.is_some_and(|k| self.events >= k) {
+                // A simulated crash: walk away mid-flight. No finish(),
+                // no report — exactly what a real kill leaves behind.
+                return Ok(RunOutcome::Killed { events: self.events, at_s: self.now });
             }
         }
-        Ok(self.finish(forced, rec, live))
+        Ok(RunOutcome::Completed(Box::new(self.finish(
+            forced,
+            rec,
+            &mut *hooks.live,
+        ))))
     }
 
     /// Close every plane window that ended at or before `self.now`. All
@@ -566,13 +799,17 @@ impl<'a> Controller<'a> {
         let g = &self.groups[n.group];
         let stalled = n.acct_t < n.stalled_until;
         let busy = n.current.is_some() && !n.crashed && !stalled;
-        let power_w = match n.admin {
-            Admin::Deactivated => 0.0,
-            _ => {
-                if busy {
-                    g.busy_w_at[g.freq_idx]
-                } else {
-                    g.idle_w
+        let power_w = if n.unpowered {
+            0.0 // PDU loss: dark until repaired
+        } else {
+            match n.admin {
+                Admin::Deactivated => 0.0,
+                _ => {
+                    if busy {
+                        g.busy_w_at[g.freq_idx]
+                    } else {
+                        g.idle_w
+                    }
                 }
             }
         };
@@ -640,6 +877,7 @@ impl<'a> Controller<'a> {
             .map(|n| {
                 let g = &self.groups[n.group];
                 match n.admin {
+                    _ if n.unpowered => 0.0,
                     Admin::Deactivated => 0.0,
                     _ => {
                         let stalled = self.now < n.stalled_until;
@@ -676,7 +914,13 @@ impl<'a> Controller<'a> {
 
     // ---- request path ----------------------------------------------------
 
-    fn on_arrival<R: Recorder>(&mut self, ops: f64, source: &mut ArrivalSource, rec: &mut R) {
+    fn on_arrival<R: Recorder>(
+        &mut self,
+        ops: f64,
+        class: u8,
+        source: &mut ArrivalSource,
+        rec: &mut R,
+    ) {
         self.arrivals += 1;
         self.window_arrival_ops += ops;
         rec.tally("serve.arrivals", 1);
@@ -685,7 +929,11 @@ impl<'a> Controller<'a> {
         }
         let id = self.next_req_id;
         self.next_req_id += 1;
-        if self.shed_mode || self.inflight.len() >= self.cfg.max_inflight {
+        // Admission control: shed mode, the emergency ladder's class
+        // floor, and the in-flight cap all shed here.
+        if self.shed_mode || class >= self.shed_class_floor
+            || self.inflight.len() >= self.cfg.max_inflight
+        {
             self.shed_admission += 1;
             rec.tally("serve.shed", 1);
             if let Some(p) = &mut self.plane {
@@ -701,6 +949,7 @@ impl<'a> Controller<'a> {
                 Req {
                     arrived: self.now,
                     ops,
+                    class,
                     attempt: 0,
                     dispatch: 0,
                     loc: Loc::Pending,
@@ -709,7 +958,22 @@ impl<'a> Controller<'a> {
                 },
             );
             if !self.dispatch(id) {
-                self.pending.push_back(id);
+                // Bounded-queue backpressure: an admitted request that
+                // cannot be placed and finds the pending queue full is
+                // shed instead of growing the queue without bound.
+                if self.pending.len() >= self.cfg.max_pending {
+                    self.shed_backpressure += 1;
+                    rec.tally("serve.shed", 1);
+                    if let Some(p) = &mut self.plane {
+                        p.on_shed();
+                    }
+                    if traced {
+                        rec.span_end(self.now, Track::Dispatcher, "request", id);
+                    }
+                    self.inflight.remove(&id);
+                } else {
+                    self.pending.push_back(id);
+                }
             }
         }
         self.schedule_next_arrival(source);
@@ -730,6 +994,14 @@ impl<'a> Controller<'a> {
                 continue;
             }
             let g = &self.groups[n.group];
+            // Circuit breaker: an Open group takes nothing; a HalfOpen
+            // group takes exactly one probe at a time.
+            if self.cfg.breaker_failures > 0 {
+                match g.breaker {
+                    Breaker::Open { .. } | Breaker::HalfOpen { probe: Some(_), .. } => continue,
+                    _ => {}
+                }
+            }
             let rate = g.rate_at[g.freq_idx];
             let backlog =
                 n.queued_ops + n.current.as_ref().map_or(0.0, |c| c.remaining_ops) + ops;
@@ -756,6 +1028,11 @@ impl<'a> Controller<'a> {
             r.dispatch += 1;
             r.dispatch
         };
+        // Dispatching into a HalfOpen group makes this request its probe.
+        let gi = self.nodes[i].group;
+        if let Breaker::HalfOpen { probe: None, reopens } = self.groups[gi].breaker {
+            self.groups[gi].breaker = Breaker::HalfOpen { probe: Some(req), reopens };
+        }
         let n = &mut self.nodes[i];
         n.queue.push_back(req);
         n.queued_ops += ops;
@@ -818,6 +1095,7 @@ impl<'a> Controller<'a> {
             if r.traced {
                 rec.span_end(self.now, Track::Dispatcher, "request", cur.req);
             }
+            self.breaker_on_success(self.nodes[i].group, cur.req, rec);
         }
         if self.nodes[i].queue.is_empty() && self.nodes[i].admin == Admin::Draining {
             self.park(i, rec);
@@ -837,6 +1115,7 @@ impl<'a> Controller<'a> {
         self.timeouts += 1;
         rec.tally("serve.timeouts", 1);
         let reclaimed_j = self.remove_from_node(i, req);
+        self.breaker_on_failure(self.nodes[i].group, req, rec);
         let group = u16::try_from(self.nodes[i].group).unwrap_or(u16::MAX);
         // A timeout is evidence: if the node really is dead, declare it
         // down now instead of waiting for the next health sweep.
@@ -937,21 +1216,12 @@ impl<'a> Controller<'a> {
         match kind {
             FaultKind::Crash => {
                 self.crashes += 1;
-                self.advance(i);
-                let n = &mut self.nodes[i];
-                n.crashed = true;
-                n.epoch += 1; // cancel any scheduled completion
+                self.crash_node(i);
             }
             FaultKind::Stall { duration_s } => {
                 self.stalls += 1;
-                self.advance(i);
                 let until = self.now + duration_s;
-                let n = &mut self.nodes[i];
-                if until > n.stalled_until {
-                    n.stalled_until = until;
-                    n.epoch += 1;
-                    self.push(until, EvKind::StallEnd { node: i });
-                }
+                self.stall_node(i, until);
             }
             FaultKind::Straggler { slowdown } => {
                 self.stragglers += 1;
@@ -965,6 +1235,28 @@ impl<'a> Controller<'a> {
                 }
                 self.reschedule_completion(i);
             }
+        }
+    }
+
+    /// Fail-stop crash of node `i` (shared by per-node crash faults and
+    /// correlated rack/PDU events).
+    fn crash_node(&mut self, i: usize) {
+        self.advance(i);
+        let n = &mut self.nodes[i];
+        n.crashed = true;
+        n.epoch += 1; // cancel any scheduled completion
+    }
+
+    /// Stall node `i` until `until` (shared by per-node stall faults and
+    /// correlated network partitions). Extensions supersede; shortenings
+    /// are ignored.
+    fn stall_node(&mut self, i: usize, until: f64) {
+        self.advance(i);
+        let n = &mut self.nodes[i];
+        if until > n.stalled_until {
+            n.stalled_until = until;
+            n.epoch += 1;
+            self.push(until, EvKind::StallEnd { node: i });
         }
     }
 
@@ -1043,6 +1335,7 @@ impl<'a> Controller<'a> {
         self.advance(i);
         let n = &mut self.nodes[i];
         n.crashed = false;
+        n.unpowered = false; // power restored along with the node
         n.stalled_until = f64::NEG_INFINITY;
         n.slowdown = 1.0;
         n.slow_until = f64::NEG_INFINITY;
@@ -1055,9 +1348,270 @@ impl<'a> Controller<'a> {
         self.flush_pending();
     }
 
+    // ---- correlated failure domains & power emergencies ------------------
+
+    /// Materialize one window of correlated domain faults (mirrors
+    /// [`Controller::on_fault_window`], but for the topology plan).
+    fn on_domain_window(&mut self, window: u32) {
+        let Some(topo) = self.topo else { return };
+        let w = self.cfg.fault_window_s;
+        let base = f64::from(window) * w;
+        for e in topo.events_for_window(self.cfg.seed, window, w) {
+            self.push(base + e.at_s, EvKind::DomainFault { event: e });
+        }
+        if !self.arrivals_done {
+            self.push(base + w, EvKind::DomainWindow { window: window + 1 });
+        }
+    }
+
+    /// Nodes of `domain` a blast-radius event can still hit: powered-off
+    /// and already-down/crashed nodes are skipped (nothing to break).
+    fn domain_members(&self, domain: Domain) -> Vec<usize> {
+        let Some(topo) = self.topo else { return Vec::new() };
+        topo.topology
+            .domain_nodes(domain)
+            .filter(|&i| i < self.nodes.len())
+            .filter(|&i| {
+                let n = &self.nodes[i];
+                !matches!(n.admin, Admin::Deactivated | Admin::Down) && !n.crashed
+            })
+            .collect()
+    }
+
+    /// One correlated fault hits every eligible node of its domain
+    /// atomically — same virtual instant, one event.
+    fn on_domain_fault<R: Recorder>(&mut self, event: DomainEvent, rec: &mut R) {
+        rec.instant(self.now, Track::Controller, event.kind.label(), 1.0);
+        rec.tally(event.kind.label(), 1);
+        match event.kind {
+            DomainFaultKind::RackCrash => {
+                self.rack_crashes += 1;
+                for i in self.domain_members(event.domain) {
+                    self.crash_node(i);
+                }
+            }
+            DomainFaultKind::PduLoss => {
+                self.pdu_losses += 1;
+                for i in self.domain_members(event.domain) {
+                    self.crash_node(i);
+                    self.nodes[i].unpowered = true;
+                }
+            }
+            DomainFaultKind::NetworkPartition { duration_s } => {
+                self.partitions += 1;
+                let until = self.now + duration_s;
+                for i in self.domain_members(event.domain) {
+                    self.stall_node(i, until);
+                }
+            }
+            DomainFaultKind::PowerEmergency { cap_w, duration_s } => {
+                self.power_emergencies += 1;
+                let until = self.now + duration_s;
+                self.emergency_cap_w = if self.in_emergency() {
+                    self.emergency_cap_w.min(cap_w) // overlapping: strictest cap wins
+                } else {
+                    cap_w
+                };
+                self.emergency_until_s = self.emergency_until_s.max(until);
+                rec.instant(self.now, Track::Controller, "ctl.emergency.begin", cap_w);
+                self.push(until, EvKind::EmergencyEnd);
+            }
+        }
+    }
+
+    fn in_emergency(&self) -> bool {
+        self.now < self.emergency_until_s
+    }
+
+    /// The power cap the control loop enforces right now: the configured
+    /// cap, tightened by an active emergency.
+    fn effective_cap_w(&self) -> f64 {
+        if self.in_emergency() {
+            self.cfg.power_cap_w.min(self.emergency_cap_w)
+        } else {
+            self.cfg.power_cap_w
+        }
+    }
+
+    fn on_emergency_end<R: Recorder>(&mut self, rec: &mut R) {
+        if self.in_emergency() {
+            return; // extended by a later emergency; its own end event follows
+        }
+        if self.emergency_cap_w.is_finite() {
+            self.emergency_cap_w = f64::INFINITY;
+            self.emergency_level = 0;
+            self.shed_class_floor = u8::MAX;
+            // Parked nodes and browned-out groups recover through the
+            // normal control loop (SLO-breach scale-up), not instantly.
+            rec.instant(self.now, Track::Controller, "ctl.emergency.end", 0.0);
+        }
+    }
+
+    /// Take the next rung of the graceful-degradation ladder — one action
+    /// per control tick while an emergency holds and power still exceeds
+    /// the emergency cap. A rung repeats across ticks while it keeps
+    /// helping (e.g. several DVFS steps), then the ladder advances:
+    /// brownout → park the wimpiest node → shed best-effort classes →
+    /// shed everything.
+    fn emergency_escalate<R: Recorder>(&mut self, rec: &mut R) {
+        loop {
+            let rung = self.emergency_level;
+            let acted = match rung {
+                0 => self.dvfs_step_down(rec),
+                1 => self.park_wimpy_one(rec),
+                2 => {
+                    if self.shed_class_floor > 1 {
+                        self.shed_class_floor = 1;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                _ => {
+                    if self.shed_class_floor > 0 {
+                        self.shed_class_floor = 0;
+                        true
+                    } else {
+                        false
+                    }
+                }
+            };
+            if acted {
+                self.emergency_actions += 1;
+                rec.counter(self.now, Track::Controller, "ctl.emergency.action", 1);
+                rec.instant(self.now, Track::Controller, "ctl.emergency.rung", f64::from(rung));
+                return;
+            }
+            if self.emergency_level >= 3 {
+                return; // ladder exhausted; nothing left to cut
+            }
+            self.emergency_level += 1;
+        }
+    }
+
+    /// Park the *wimpiest* Active node (lowest current rate): under an
+    /// emergency the goal is watts per op shed, not idle-power ranking,
+    /// so the paper's wimpy groups go dark first. Ties go to the lowest
+    /// node index.
+    fn park_wimpy_one<R: Recorder>(&mut self, rec: &mut R) -> bool {
+        if self.admitted_count() <= self.cfg.min_active_nodes {
+            return false;
+        }
+        let candidate = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.admin == Admin::Active)
+            .min_by(|(ia, a), (ib, b)| {
+                let ra = self.groups[a.group].rate_at[self.groups[a.group].freq_idx];
+                let rb = self.groups[b.group].rate_at[self.groups[b.group].freq_idx];
+                ra.total_cmp(&rb).then(ia.cmp(ib))
+            })
+            .map(|(i, _)| i);
+        let Some(i) = candidate else { return false };
+        self.advance(i);
+        let idle = self.nodes[i].current.is_none() && self.nodes[i].queue.is_empty();
+        self.nodes[i].admin = if idle { Admin::Deactivated } else { Admin::Draining };
+        self.deactivations += 1;
+        rec.counter(self.now, Track::Controller, "ctl.deactivate", 1);
+        rec.instant(self.now, Track::Controller, "ctl.emergency.park", i as f64);
+        true
+    }
+
+    // ---- circuit breakers ------------------------------------------------
+
+    /// A dispatch timeout on group `gi`: count it, open the breaker after
+    /// `breaker_failures` consecutive ones, and re-open on a failed
+    /// half-open probe.
+    fn breaker_on_failure<R: Recorder>(&mut self, gi: usize, req: u64, rec: &mut R) {
+        if self.cfg.breaker_failures == 0 {
+            return;
+        }
+        match self.groups[gi].breaker {
+            Breaker::Closed { fails } => {
+                let fails = fails + 1;
+                if fails >= self.cfg.breaker_failures {
+                    self.open_breaker(gi, 0, rec);
+                } else {
+                    self.groups[gi].breaker = Breaker::Closed { fails };
+                }
+            }
+            Breaker::HalfOpen { probe, reopens } => {
+                if probe == Some(req) {
+                    self.open_breaker(gi, reopens + 1, rec);
+                }
+            }
+            Breaker::Open { .. } => {}
+        }
+    }
+
+    /// A completion on group `gi`: reset the consecutive-failure count,
+    /// and close the breaker when the completer was the half-open probe.
+    fn breaker_on_success<R: Recorder>(&mut self, gi: usize, req: u64, rec: &mut R) {
+        if self.cfg.breaker_failures == 0 {
+            return;
+        }
+        match self.groups[gi].breaker {
+            Breaker::Closed { fails: 0 } | Breaker::Open { .. } => {}
+            Breaker::Closed { .. } => {
+                self.groups[gi].breaker = Breaker::Closed { fails: 0 };
+            }
+            Breaker::HalfOpen { probe, .. } => {
+                if probe == Some(req) {
+                    self.groups[gi].breaker = Breaker::Closed { fails: 0 };
+                    self.breaker_closes += 1;
+                    rec.instant(self.now, Track::Controller, "ctl.breaker.close", gi as f64);
+                }
+            }
+        }
+    }
+
+    /// Open group `gi`'s breaker for a jittered hold. The jitter stream
+    /// is keyed on `(seed, group, reopen count)` so repeatedly-failing
+    /// groups don't re-probe in lockstep — and the draw is reproducible,
+    /// keeping the determinism contract.
+    fn open_breaker<R: Recorder>(&mut self, gi: usize, reopens: u32, rec: &mut R) {
+        let jitter = FaultRng::from_key(&[
+            self.cfg.seed,
+            0x6272_6b72, // "brkr"
+            gi as u64,
+            u64::from(reopens),
+        ])
+        .unit();
+        let until_s = self.now + self.cfg.breaker_open_s * (0.5 + jitter);
+        self.groups[gi].breaker = Breaker::Open { until_s, reopens };
+        self.breaker_opens += 1;
+        rec.counter(self.now, Track::Controller, "ctl.breaker.opens", 1);
+        rec.instant(self.now, Track::Controller, "ctl.breaker.open", gi as f64);
+    }
+
+    /// Per-tick breaker maintenance: expire Open holds into HalfOpen, and
+    /// clear a probe whose request resolved elsewhere (rerouted off the
+    /// group, shed) so the group isn't stuck waiting on a ghost.
+    fn breaker_tick<R: Recorder>(&mut self, rec: &mut R) {
+        if self.cfg.breaker_failures == 0 {
+            return;
+        }
+        for gi in 0..self.groups.len() {
+            match self.groups[gi].breaker {
+                Breaker::Open { until_s, reopens } if self.now >= until_s => {
+                    self.groups[gi].breaker = Breaker::HalfOpen { probe: None, reopens };
+                    rec.instant(self.now, Track::Controller, "ctl.breaker.half_open", gi as f64);
+                }
+                Breaker::HalfOpen { probe: Some(id), reopens }
+                    if !self.inflight.contains_key(&id) =>
+                {
+                    self.groups[gi].breaker = Breaker::HalfOpen { probe: None, reopens };
+                }
+                _ => {}
+            }
+        }
+    }
+
     // ---- control loop ----------------------------------------------------
 
     fn on_control_tick<R: Recorder>(&mut self, rec: &mut R) {
+        self.breaker_tick(rec);
         let power = self.power_now();
         let p95 = self.tick_sketch.quantile(0.95);
         let p999 = self.tick_sketch.quantile(0.999);
@@ -1101,8 +1655,15 @@ impl<'a> Controller<'a> {
             self.activate_one(rec);
             return;
         }
-        // 1. Power-cap breach: DVFS brownout, then forced deactivation.
-        if power > self.cfg.power_cap_w {
+        // 1. Power-cap breach: under an emergency, climb the graceful-
+        // degradation ladder; otherwise DVFS brownout, then forced
+        // deactivation.
+        if power > self.effective_cap_w() {
+            if self.in_emergency() {
+                self.emergency_escalate(rec);
+                self.cooldown = self.cfg.scale_cooldown_ticks;
+                return;
+            }
             if self.dvfs_step_down(rec) || self.deactivate_one(true, rec) {
                 self.cooldown = self.cfg.scale_cooldown_ticks;
             }
@@ -1270,7 +1831,7 @@ impl<'a> Controller<'a> {
     /// Step the group with the largest throughput gain one DVFS level up —
     /// only when under the power cap.
     fn dvfs_step_up<R: Recorder>(&mut self, power: f64, rec: &mut R) -> bool {
-        if power > self.cfg.power_cap_w {
+        if power > self.effective_cap_w() {
             return false;
         }
         let target = self
@@ -1389,6 +1950,14 @@ impl<'a> Controller<'a> {
             dvfs_up: self.dvfs_up,
             dvfs_down: self.dvfs_down,
             shed_toggles: self.shed_toggles,
+            shed_backpressure: self.shed_backpressure,
+            rack_crashes: self.rack_crashes,
+            pdu_losses: self.pdu_losses,
+            partitions: self.partitions,
+            power_emergencies: self.power_emergencies,
+            emergency_actions: self.emergency_actions,
+            breaker_opens: self.breaker_opens,
+            breaker_closes: self.breaker_closes,
             horizon_s,
             energy_j,
             mean_power_w: if horizon_s > 0.0 { energy_j / horizon_s } else { 0.0 },
@@ -1453,7 +2022,7 @@ mod tests {
 
     use super::*;
     use crate::arrivals::{ArrivalModel, SyntheticArrivals};
-    use enprop_faults::{FaultPlan, GroupFaultProfile, MtbfModel};
+    use enprop_faults::{DomainFaultProfile, FaultPlan, GroupFaultProfile, MtbfModel, Topology};
     use enprop_obs::{MemoryRecorder, NoopRecorder};
     use enprop_workloads::catalog;
 
@@ -1631,6 +2200,178 @@ mod tests {
             Controller::run(&w, &c, &plan, &cfg, &mut src, &mut NoopRecorder).unwrap();
         assert_eq!(r.arrivals, 0);
         assert!(r.conservation_ok());
+    }
+
+    /// A domain plan whose every level is inert, over `nodes_per_rack = 2`
+    /// and `racks_per_pdu` as given; tests switch individual levels on.
+    fn quiet_topo(c: &ClusterSpec, racks_per_pdu: usize) -> TopologyFaultPlan {
+        let n: usize = c.groups.iter().map(|g| g.count as usize).sum();
+        TopologyFaultPlan::none(Topology::new(n, 2, racks_per_pdu).unwrap())
+    }
+
+    fn run_topo(
+        cfg: &ServeConfig,
+        plan: &FaultPlan,
+        topo: &TopologyFaultPlan,
+        n: u64,
+        util: f64,
+    ) -> (ServeReport, MemoryRecorder) {
+        let (w, c, ops) = setup();
+        let mut src = poisson_source(&w, &c, ops, n, util, cfg.seed);
+        let mut rec = MemoryRecorder::new();
+        let mut hooks = RunHooks { live: &mut |_| {}, checkpoint: None, kill_after_events: None };
+        let out =
+            Controller::run_full(&w, &c, plan, Some(topo), cfg, &mut src, &mut rec, &mut hooks)
+                .unwrap();
+        match out {
+            RunOutcome::Completed(r) => (*r, rec),
+            RunOutcome::Killed { .. } => panic!("no kill hook installed"),
+        }
+    }
+
+    #[test]
+    fn rack_crash_downs_every_rack_member_atomically() {
+        let (_, c, _) = setup();
+        let mut cfg = ServeConfig::new(31);
+        cfg.repair_s = 4.0;
+        let mut topo = quiet_topo(&c, 2);
+        // Every rack faults at t=2 — a full-cluster blast the per-node
+        // chaos path can never produce in one virtual instant.
+        topo.rack = DomainFaultProfile {
+            mtbf: MtbfModel::Schedule(vec![2.0]),
+            kinds: vec![(1.0, DomainFaultKind::RackCrash)],
+        };
+        let (r, rec) = run_topo(&cfg, &FaultPlan::none(), &topo, 1500, 0.5);
+        assert!(r.conservation_ok(), "{}", r.conservation_line());
+        assert!(r.rack_crashes >= 3, "three racks fault at t=2: {r:?}");
+        // Atomic blast radius: every eligible member of every rack opens
+        // its down-span at the same virtual instant. (A node the
+        // autoscaler already parked is not an eligible member.)
+        let blast = rec
+            .events()
+            .iter()
+            .filter(|e| {
+                e.name == "node.down"
+                    // enprop-lint: allow(float-eq) -- Schedule faults fire at the exact listed instant, no arithmetic touches it
+                    && e.t_s == 2.0
+                    && matches!(e.kind, enprop_obs::EventKind::SpanBegin)
+            })
+            .count();
+        assert!(blast >= 4, "the blast lands in one virtual instant: {blast} nodes");
+        assert!(r.repairs >= 4, "downed nodes repair and rejoin: {r:?}");
+        assert!(r.completions > 0, "service survives the blast: {r:?}");
+        assert!(rec.counters().get("fault.rack_crash").copied().unwrap_or(0) >= 3);
+    }
+
+    #[test]
+    fn pdu_loss_cuts_power_that_a_plain_crash_still_draws() {
+        // Same topology, same schedule, same blast radius (racks_per_pdu=1
+        // makes PDU 0 and rack 0 the same node set): the only difference
+        // is that a PDU loss de-energizes its nodes, while rack-crashed
+        // nodes keep drawing idle power until repaired. The PDU run must
+        // therefore consume strictly less energy.
+        let (_, c, _) = setup();
+        let mut cfg = ServeConfig::new(33);
+        cfg.repair_s = 6.0;
+        let mut rack_topo = quiet_topo(&c, 1);
+        rack_topo.rack = DomainFaultProfile {
+            mtbf: MtbfModel::Schedule(vec![2.0]),
+            kinds: vec![(1.0, DomainFaultKind::RackCrash)],
+        };
+        let mut pdu_topo = quiet_topo(&c, 1);
+        pdu_topo.pdu = DomainFaultProfile {
+            mtbf: MtbfModel::Schedule(vec![2.0]),
+            kinds: vec![(1.0, DomainFaultKind::PduLoss)],
+        };
+        let (rack_r, _) = run_topo(&cfg, &FaultPlan::none(), &rack_topo, 1500, 0.5);
+        let (pdu_r, _) = run_topo(&cfg, &FaultPlan::none(), &pdu_topo, 1500, 0.5);
+        assert!(rack_r.conservation_ok(), "{}", rack_r.conservation_line());
+        assert!(pdu_r.conservation_ok(), "{}", pdu_r.conservation_line());
+        assert!(rack_r.rack_crashes >= 1 && rack_r.pdu_losses == 0);
+        assert!(pdu_r.pdu_losses >= 1 && pdu_r.rack_crashes == 0);
+        assert!(
+            pdu_r.energy_j < rack_r.energy_j,
+            "unpowered downtime must cost less than idle downtime: pdu {} J vs rack {} J",
+            pdu_r.energy_j,
+            rack_r.energy_j
+        );
+    }
+
+    #[test]
+    fn power_emergency_walks_the_degradation_ladder() {
+        let (_, c, _) = setup();
+        let cfg = ServeConfig::new(35);
+        let mut topo = quiet_topo(&c, 2);
+        // A cap far below the working draw: the ladder must escalate past
+        // DVFS brownout into parking and class shedding, then release.
+        topo.cluster = DomainFaultProfile {
+            mtbf: MtbfModel::Schedule(vec![1.5]),
+            kinds: vec![(1.0, DomainFaultKind::PowerEmergency { cap_w: 25.0, duration_s: 6.0 })],
+        };
+        let (r, rec) = run_topo(&cfg, &FaultPlan::none(), &topo, 3000, 0.8);
+        assert!(r.conservation_ok(), "{}", r.conservation_line());
+        assert!(r.power_emergencies >= 1, "{r:?}");
+        assert!(r.emergency_actions > 0, "the ladder must act under the cap: {r:?}");
+        assert!(r.dvfs_down > 0, "rung 0 is DVFS brownout: {r:?}");
+        assert!(r.completions > 0, "service continues degraded: {r:?}");
+        assert!(rec.counters().get("ctl.emergency.action").copied().unwrap_or(0) > 0);
+        let ends = rec
+            .events()
+            .iter()
+            .filter(|e| e.name == "ctl.emergency.end")
+            .count();
+        assert!(ends >= 1, "the emergency must end and reset the ladder");
+    }
+
+    #[test]
+    fn breakers_open_on_consecutive_timeouts_and_close_after_probe() {
+        let (_, c, _) = setup();
+        let mut cfg = ServeConfig::new(37);
+        cfg.breaker_failures = 2;
+        cfg.breaker_open_s = 1.0;
+        // Stall every group-0 node for 4 s: dispatches there time out back
+        // to back, the group-0 breaker opens, half-open probes fail while
+        // the stall lasts, and the first post-stall probe closes it.
+        let plan = FaultPlan {
+            seed: 37,
+            groups: vec![
+                GroupFaultProfile {
+                    mtbf: MtbfModel::Schedule(vec![1.0]),
+                    kinds: vec![(1.0, FaultKind::Stall { duration_s: 4.0 })],
+                },
+                GroupFaultProfile::none(),
+            ],
+        };
+        let topo = quiet_topo(&c, 2);
+        let (r, rec) = run_topo(&cfg, &plan, &topo, 3000, 0.6);
+        assert!(r.conservation_ok(), "{}", r.conservation_line());
+        assert!(r.timeouts > 0, "stalled dispatches must time out: {r:?}");
+        assert!(r.breaker_opens >= 1, "consecutive timeouts must trip the breaker: {r:?}");
+        assert!(r.breaker_closes >= 1, "a successful probe must close it again: {r:?}");
+        let names: Vec<&str> = rec.events().iter().map(|e| e.name).collect();
+        assert!(names.contains(&"ctl.breaker.open"));
+        assert!(names.contains(&"ctl.breaker.half_open"));
+    }
+
+    #[test]
+    fn bounded_pending_queue_sheds_backpressure() {
+        let (_, c, _) = setup();
+        let mut cfg = ServeConfig::new(39);
+        cfg.max_pending = 4;
+        cfg.repair_s = 4.0;
+        cfg.slo_p95_s = 1e6; // keep SLO admission shedding out of the way
+        // A full-cluster blast: with no node dispatchable, admitted
+        // arrivals queue up, the tiny pending bound fills, and overflow
+        // is shed as backpressure — distinct from admission shedding.
+        let mut topo = quiet_topo(&c, 2);
+        topo.rack = DomainFaultProfile {
+            mtbf: MtbfModel::Schedule(vec![1.0]),
+            kinds: vec![(1.0, DomainFaultKind::RackCrash)],
+        };
+        let (r, _) = run_topo(&cfg, &FaultPlan::none(), &topo, 1500, 0.8);
+        assert!(r.conservation_ok(), "{}", r.conservation_line());
+        assert!(r.shed_backpressure > 0, "a full pending queue must shed: {r:?}");
+        assert!(r.completions > 0, "{r:?}");
     }
 
     #[test]

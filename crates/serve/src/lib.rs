@@ -26,6 +26,16 @@
 //! any host. The conservation invariant — `arrivals = completions + shed +
 //! in-flight` — is checked by [`report::ServeReport::conservation_ok`] and
 //! property-tested by the chaos harness ([`chaos`]).
+//!
+//! DESIGN.md §16 layers correlated blast-radius failures on top: an
+//! optional [`enprop_faults::TopologyFaultPlan`] injects rack crashes, PDU
+//! losses, network partitions and cluster-wide power emergencies; the
+//! controller answers with a graceful-degradation ladder, per-group
+//! circuit breakers and bounded-queue backpressure. The same section
+//! specifies crash-consistent checkpoint/resume: [`snapshot`] serializes
+//! the complete controller state at obs-window boundaries, and
+//! [`controller::Controller::resume_full`] continues a killed run
+//! event-for-event and joule-for-joule identically.
 
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
@@ -35,12 +45,19 @@ pub mod config;
 pub mod controller;
 pub mod plane;
 pub mod report;
+pub mod snapshot;
 pub mod trace;
 
-pub use arrivals::{Arrival, ArrivalModel, ArrivalSource, SyntheticArrivals};
-pub use chaos::{chaos_sweep, spans_balanced, sweep_plan, ChaosOutcome, PlanOutcome};
+pub use arrivals::{Arrival, ArrivalModel, ArrivalSource, SourceState, SyntheticArrivals};
+pub use chaos::{
+    chaos_sweep, domain_chaos_sweep, spans_balanced, sweep_domain_plan, sweep_plan, ChaosOutcome,
+    PlanOutcome,
+};
 pub use config::ServeConfig;
-pub use controller::{cluster_capacity_ops_s, default_ops_per_request, Controller};
-pub use plane::{GroupWindow, ObsPlane, WindowReport};
+pub use controller::{
+    cluster_capacity_ops_s, default_ops_per_request, Controller, RunHooks, RunOutcome,
+};
+pub use plane::{GroupWindow, ObsPlane, PlaneGroupState, PlaneState, WindowReport};
 pub use report::ServeReport;
+pub use snapshot::SNAPSHOT_VERSION;
 pub use trace::{format_trace, parse_trace, ReplayCursor};

@@ -38,7 +38,11 @@
 
 use std::collections::VecDeque;
 
-use enprop_obs::{EnergyLedger, EnergyOutcome, QuantileSketch, Recorder, Track, WindowedSeries};
+use enprop_faults::EnpropError;
+use enprop_obs::{
+    EnergyLedger, EnergyOutcome, LedgerState, QuantileSketch, Recorder, SeriesState, Track,
+    WindowedSeries,
+};
 
 /// Error budget fraction for a p95 objective: 5 % of requests may breach.
 pub const P95_ERROR_BUDGET: f64 = 0.05;
@@ -184,6 +188,51 @@ impl GroupAcc {
     }
 }
 
+/// Checkpoint form of one in-progress [`GroupAcc`] (DESIGN.md §16).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlaneGroupState {
+    /// Actual joules so far in the open window.
+    pub energy_j: f64,
+    /// Ideal-proportional joules so far in the open window.
+    pub ideal_j: f64,
+    /// Batched ledger charges per outcome slot.
+    pub outcome_j: [f64; 4],
+    /// Completions so far in the open window.
+    pub completions: u64,
+}
+
+/// Checkpoint form of the whole [`ObsPlane`]: everything that mutates
+/// after construction. Static geometry (window length, burn windows,
+/// thresholds) is *not* here — the resume path rebuilds the plane from
+/// the same [`crate::ServeConfig`] and then replays this state onto it,
+/// so a snapshot restored against a different config fails loudly on the
+/// group-count check instead of silently mixing geometries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlaneState {
+    /// Windowed response-time series (ring of sketches).
+    pub resp: SeriesState,
+    /// Run-level energy ledger rows.
+    pub ledger: LedgerState,
+    /// Next window index to close.
+    pub cur_index: u64,
+    /// Arrivals in the open window.
+    pub cur_arrivals: u64,
+    /// Sheds in the open window.
+    pub cur_shed: u64,
+    /// SLO breaches in the open window.
+    pub cur_breaches: u64,
+    /// Per-group open-window accumulators, ascending group index.
+    pub groups: Vec<PlaneGroupState>,
+    /// (completions, breaches) per closed window, oldest first.
+    pub burn_ring: Vec<(u64, u64)>,
+    /// Is the burn alert currently firing?
+    pub alert: bool,
+    /// Fast burn rate as of the last close.
+    pub burn_fast: f64,
+    /// Slow burn rate as of the last close.
+    pub burn_slow: f64,
+}
+
 /// Stable array slot for each outcome (matches [`EnergyOutcome::all`]).
 fn outcome_idx(o: EnergyOutcome) -> usize {
     match o {
@@ -307,6 +356,68 @@ impl ObsPlane {
     /// Slow-window burn rate as of the last window close.
     pub fn burn_slow(&self) -> f64 {
         self.burn_slow
+    }
+
+    /// Snapshot every mutable field for a checkpoint (DESIGN.md §16).
+    pub fn state(&self) -> PlaneState {
+        PlaneState {
+            resp: self.resp.state(),
+            ledger: self.ledger.state(),
+            cur_index: self.cur_index,
+            cur_arrivals: self.cur_arrivals,
+            cur_shed: self.cur_shed,
+            cur_breaches: self.cur_breaches,
+            groups: self
+                .cur_groups
+                .iter()
+                .map(|a| PlaneGroupState {
+                    energy_j: a.energy_j,
+                    ideal_j: a.ideal_j,
+                    outcome_j: a.outcome_j,
+                    completions: a.completions,
+                })
+                .collect(),
+            burn_ring: self.burn_ring.iter().copied().collect(),
+            alert: self.alert,
+            burn_fast: self.burn_fast,
+            burn_slow: self.burn_slow,
+        }
+    }
+
+    /// Restore a checkpointed [`PlaneState`] onto a freshly-constructed
+    /// plane. The plane must have been built from the same config the
+    /// snapshot was taken under; a group-count mismatch (or a ledger row
+    /// with an unknown outcome tag) is a typed config error, not a panic.
+    pub fn restore(&mut self, s: &PlaneState) -> Result<(), EnpropError> {
+        if s.groups.len() != self.cur_groups.len() {
+            return Err(EnpropError::invalid_config(format!(
+                "snapshot obs plane has {} groups, controller has {} — wrong cluster spec?",
+                s.groups.len(),
+                self.cur_groups.len()
+            )));
+        }
+        self.ledger = EnergyLedger::from_state(&s.ledger).ok_or_else(|| {
+            EnpropError::invalid_config("snapshot energy ledger has an unknown outcome tag")
+        })?;
+        self.resp = WindowedSeries::from_state(s.resp.clone());
+        self.cur_index = s.cur_index;
+        self.cur_end_s = (s.cur_index + 1) as f64 * self.window_s;
+        self.cur_arrivals = s.cur_arrivals;
+        self.cur_shed = s.cur_shed;
+        self.cur_breaches = s.cur_breaches;
+        for (acc, g) in self.cur_groups.iter_mut().zip(&s.groups) {
+            *acc = GroupAcc {
+                energy_j: g.energy_j,
+                ideal_j: g.ideal_j,
+                outcome_j: g.outcome_j,
+                completions: g.completions,
+            };
+        }
+        self.burn_ring = s.burn_ring.iter().copied().collect();
+        self.alert = s.alert;
+        self.burn_fast = s.burn_fast;
+        self.burn_slow = s.burn_slow;
+        Ok(())
     }
 
     /// Record an arrival in the current window.
@@ -630,6 +741,52 @@ mod tests {
             assert_eq!(r.req_per_s(), 0.0);
             assert!(r.p99_s.is_nan());
         }
+    }
+
+    /// A plane checkpointed mid-window and restored onto a fresh plane
+    /// must close its remaining windows identically to the original —
+    /// same reports, same burn transitions, same ledger totals.
+    #[test]
+    fn state_roundtrip_preserves_future_window_closes() {
+        let mut a = plane();
+        for _ in 0..30 {
+            complete(&mut a, 0.5, 0); // all breach the 0.1 s SLO
+        }
+        a.busy_energy(0, 40.0, 30.0);
+        a.idle_energy(1, 5.0);
+        a.on_arrival();
+        a.on_shed();
+        a.roll_to(1.2, &mut NoopRecorder, &mut |_| {});
+        // Mid-window-1 activity, then checkpoint.
+        complete(&mut a, 0.02, 1);
+        a.busy_energy(1, 3.0, 3.0);
+        let snap = a.state();
+
+        let mut b = plane();
+        b.restore(&snap).expect("restore");
+        assert_eq!(b.state(), snap, "state → restore → state is identity");
+
+        let (mut ra, mut rb) = (Vec::new(), Vec::new());
+        let mut rec_a = MemoryRecorder::new();
+        let mut rec_b = MemoryRecorder::new();
+        for p in [(&mut a, &mut ra, &mut rec_a), (&mut b, &mut rb, &mut rec_b)] {
+            let (plane, out, rec) = p;
+            complete(plane, 0.03, 0);
+            plane.roll_to(3.0, rec, &mut |r| out.push(r.clone()));
+        }
+        // Debug text: drained-window quantiles are NaN, which Vec equality
+        // would reject even when bit-for-bit identical runs produced them.
+        assert_eq!(format!("{ra:?}"), format!("{rb:?}"));
+        assert_eq!(rec_a.events(), rec_b.events());
+        assert_eq!(a.ledger(), b.ledger());
+        assert_eq!(a.burn_alert(), b.burn_alert());
+    }
+
+    #[test]
+    fn restore_rejects_group_count_mismatch() {
+        let snap = plane().state();
+        let mut wrong = ObsPlane::new(1.0, 0.01, 64, 2, 0.1, 1, 3, 2.0, 1.0);
+        assert!(wrong.restore(&snap).is_err());
     }
 
     #[test]

@@ -46,6 +46,23 @@ pub struct ServeReport {
     pub dvfs_down: u64,
     /// Shed-mode entries + exits.
     pub shed_toggles: u64,
+    /// Requests shed by bounded-queue backpressure (pending queue full).
+    /// Counted inside [`ServeReport::shed`] alongside the admission sheds.
+    pub shed_backpressure: u64,
+    /// Correlated rack-crash events (each hits a whole rack atomically).
+    pub rack_crashes: u64,
+    /// Correlated PDU-loss events (crash + zero watts until repair).
+    pub pdu_losses: u64,
+    /// Correlated network partitions (domain-wide stalls).
+    pub partitions: u64,
+    /// Cluster-wide power emergencies entered.
+    pub power_emergencies: u64,
+    /// Emergency-ladder escalations taken (brownout / park / shed rungs).
+    pub emergency_actions: u64,
+    /// Circuit breakers opened (including half-open probes that failed).
+    pub breaker_opens: u64,
+    /// Circuit breakers closed by a successful half-open probe.
+    pub breaker_closes: u64,
     /// Virtual time served, seconds.
     pub horizon_s: f64,
     /// Cluster energy over the run, joules.
@@ -74,9 +91,9 @@ pub struct ServeReport {
 }
 
 impl ServeReport {
-    /// Total shed requests (admission + retry exhaustion).
+    /// Total shed requests (admission + backpressure + retry exhaustion).
     pub fn shed(&self) -> u64 {
-        self.shed_admission + self.shed_retry
+        self.shed_admission + self.shed_backpressure + self.shed_retry
     }
 
     /// The conservation invariant: `arrivals = completions + shed +

@@ -1,41 +1,79 @@
 //! JSONL arrival traces: the replay interchange format.
 //!
-//! One object per line, `{"t_s":<seconds>,"ops":<operations>}` — small
-//! enough to hand-roll (the workspace carries no JSON dependency) and
-//! stable enough to diff. [`format_trace`] and [`parse_trace`] round-trip
-//! bit-identically through the shortest-roundtrip float formatting both
-//! sides share.
+//! One object per line, `{"t_s":<seconds>,"ops":<operations>}` with an
+//! optional `"class":<0|1|…>` SLO-class column — small enough to
+//! hand-roll (the workspace carries no JSON dependency) and stable enough
+//! to diff. [`format_trace`] and [`parse_trace`] round-trip bit-identically
+//! through the shortest-roundtrip float formatting both sides share.
+//!
+//! Error posture: a line may *omit* `ops` (falls back to the caller's
+//! default) or `class` (falls back to 0), but a key that is *present with
+//! an unparseable value* — e.g. a truncated line — is a typed
+//! [`EnpropError::InvalidConfig`] carrying the line number (CLI exit 2),
+//! never a silent fallback. Conflating "absent" with "malformed" once
+//! made a truncated tail replay as default-size requests; the fixture
+//! tests pin the distinction.
 
 use enprop_faults::EnpropError;
 
 use crate::arrivals::Arrival;
 
 /// Serialize arrivals to the JSONL trace format (one object per line,
-/// trailing newline).
+/// trailing newline). The `class` column is written only when non-zero,
+/// so class-free workloads keep the historical two-key format.
 pub fn format_trace(arrivals: &[Arrival]) -> String {
     let mut out = String::with_capacity(arrivals.len() * 32);
     for a in arrivals {
-        out.push_str(&format!("{{\"t_s\":{},\"ops\":{}}}\n", a.t_s, a.ops));
+        if a.class == 0 {
+            out.push_str(&format!("{{\"t_s\":{},\"ops\":{}}}\n", a.t_s, a.ops));
+        } else {
+            out.push_str(&format!(
+                "{{\"t_s\":{},\"ops\":{},\"class\":{}}}\n",
+                a.t_s, a.ops, a.class
+            ));
+        }
     }
     out
 }
 
-/// Extract the number following `"key":` on a single JSONL line.
-fn json_num(line: &str, key: &str) -> Option<f64> {
+/// The three-way result of looking a key up on a JSONL line: the caller
+/// decides which of the two failure modes is tolerable (absence may have
+/// a default; a malformed value never does).
+enum Field {
+    /// The key does not appear on the line.
+    Absent,
+    /// The key appears but its value does not parse as a number.
+    Malformed,
+    /// The key's numeric value.
+    Num(f64),
+}
+
+/// Look up the number following `"key":` on a single JSONL line,
+/// distinguishing an absent key from a present-but-unparseable value.
+fn json_field(line: &str, key: &str) -> Field {
     let needle = format!("\"{key}\"");
-    let at = line.find(&needle)? + needle.len();
-    let rest = line[at..].trim_start();
-    let rest = rest.strip_prefix(':')?.trim_start();
+    let Some(found) = line.find(&needle) else {
+        return Field::Absent;
+    };
+    let rest = line[found + needle.len()..].trim_start();
+    let Some(rest) = rest.strip_prefix(':') else {
+        return Field::Malformed;
+    };
+    let rest = rest.trim_start();
     let end = rest
         .find(|c: char| c == ',' || c == '}' || c.is_whitespace())
         .unwrap_or(rest.len());
-    rest[..end].parse().ok()
+    match rest[..end].parse() {
+        Ok(v) => Field::Num(v),
+        Err(_) => Field::Malformed,
+    }
 }
 
 /// Parse a JSONL arrival trace. Every non-empty line must carry a finite
-/// `t_s ≥ 0`; lines may omit `ops`, which then falls back to
-/// `default_ops`. Arrival times must be non-decreasing — a trace is a
-/// timeline, not a bag.
+/// `t_s ≥ 0`; lines may omit `ops` (falls back to `default_ops`) and
+/// `class` (falls back to 0, latency-critical). Arrival times must be
+/// non-decreasing — a trace is a timeline, not a bag. Malformed values
+/// are typed errors with the offending line number, never skipped.
 pub fn parse_trace(text: &str, default_ops: f64) -> Result<Vec<Arrival>, EnpropError> {
     if !default_ops.is_finite() || default_ops <= 0.0 {
         return Err(EnpropError::invalid_parameter(
@@ -51,9 +89,19 @@ pub fn parse_trace(text: &str, default_ops: f64) -> Result<Vec<Arrival>, EnpropE
             continue;
         }
         let lineno = i + 1;
-        let t_s = json_num(line, "t_s").ok_or_else(|| {
-            EnpropError::invalid_config(format!("trace line {lineno}: missing or malformed \"t_s\""))
-        })?;
+        let t_s = match json_field(line, "t_s") {
+            Field::Num(v) => v,
+            Field::Absent => {
+                return Err(EnpropError::invalid_config(format!(
+                    "trace line {lineno}: missing \"t_s\""
+                )))
+            }
+            Field::Malformed => {
+                return Err(EnpropError::invalid_config(format!(
+                    "trace line {lineno}: malformed \"t_s\" value (truncated line?)"
+                )))
+            }
+        };
         if !t_s.is_finite() || t_s < 0.0 {
             return Err(EnpropError::invalid_config(format!(
                 "trace line {lineno}: t_s must be finite and ≥ 0, got {t_s}"
@@ -65,13 +113,37 @@ pub fn parse_trace(text: &str, default_ops: f64) -> Result<Vec<Arrival>, EnpropE
             )));
         }
         prev = t_s;
-        let ops = json_num(line, "ops").unwrap_or(default_ops);
+        let ops = match json_field(line, "ops") {
+            Field::Num(v) => v,
+            Field::Absent => default_ops,
+            Field::Malformed => {
+                return Err(EnpropError::invalid_config(format!(
+                    "trace line {lineno}: malformed \"ops\" value (truncated line?)"
+                )))
+            }
+        };
         if !ops.is_finite() || ops <= 0.0 {
             return Err(EnpropError::invalid_config(format!(
                 "trace line {lineno}: ops must be finite and > 0, got {ops}"
             )));
         }
-        out.push(Arrival { t_s, ops });
+        let class = match json_field(line, "class") {
+            Field::Absent => 0,
+            Field::Malformed => {
+                return Err(EnpropError::invalid_config(format!(
+                    "trace line {lineno}: malformed \"class\" value (truncated line?)"
+                )))
+            }
+            Field::Num(v) => {
+                if v.fract() != 0.0 || !(0.0..=255.0).contains(&v) {
+                    return Err(EnpropError::invalid_config(format!(
+                        "trace line {lineno}: class must be an integer in [0, 255], got {v}"
+                    )));
+                }
+                v as u8
+            }
+        };
+        out.push(Arrival { t_s, ops, class });
     }
     Ok(out)
 }
@@ -100,6 +172,25 @@ impl ReplayCursor {
         self.arrivals.is_empty()
     }
 
+    /// Index of the next arrival to emit — the checkpoint cursor.
+    pub fn position(&self) -> usize {
+        self.next
+    }
+
+    /// Move the cursor to `position` (resume path). One past the end is
+    /// legal — an exhausted cursor; beyond that the snapshot and trace
+    /// disagree and the resume must fail loudly.
+    pub fn seek(&mut self, position: usize) -> Result<(), EnpropError> {
+        if position > self.arrivals.len() {
+            return Err(EnpropError::invalid_config(format!(
+                "snapshot replay cursor at {position}, but the trace has only {} arrivals — wrong trace file?",
+                self.arrivals.len()
+            )));
+        }
+        self.next = position;
+        Ok(())
+    }
+
     /// Next arrival, or `None` past the end.
     pub fn next_arrival(&mut self) -> Option<Arrival> {
         let a = self.arrivals.get(self.next).copied()?;
@@ -115,9 +206,9 @@ mod tests {
     #[test]
     fn round_trips_bit_identically() {
         let arrivals = vec![
-            Arrival { t_s: 0.0, ops: 1000.0 },
-            Arrival { t_s: 0.125, ops: 512.5 },
-            Arrival { t_s: 2.25e3, ops: 1.0 },
+            Arrival::new(0.0, 1000.0),
+            Arrival::new(0.125, 512.5),
+            Arrival { t_s: 2.25e3, ops: 1.0, class: 1 },
         ];
         let text = format_trace(&arrivals);
         let parsed = parse_trace(&text, 1.0).expect("round trip");
@@ -129,7 +220,7 @@ mod tests {
     #[test]
     fn missing_ops_falls_back_to_default() {
         let parsed = parse_trace("{\"t_s\":1.5}\n", 42.0).expect("parse");
-        assert_eq!(parsed, vec![Arrival { t_s: 1.5, ops: 42.0 }]);
+        assert_eq!(parsed, vec![Arrival::new(1.5, 42.0)]);
     }
 
     #[test]
@@ -137,7 +228,7 @@ mod tests {
         let text = "\n  {\"t_s\": 1.0, \"ops\": 2.0}  \n\n{\"t_s\":3.0,\"ops\":4.0}\n";
         let parsed = parse_trace(text, 1.0).expect("parse");
         assert_eq!(parsed.len(), 2);
-        assert_eq!(parsed[0], Arrival { t_s: 1.0, ops: 2.0 });
+        assert_eq!(parsed[0], Arrival::new(1.0, 2.0));
     }
 
     #[test]
@@ -150,16 +241,60 @@ mod tests {
         assert!(parse_trace("{\"t_s\":1.0}\n", 0.0).is_err());
     }
 
+    /// A present-but-malformed "ops" must be a typed error carrying the
+    /// line number — never a silent fallback to `default_ops` (the old
+    /// behavior, which replayed a truncated tail as default-size
+    /// requests).
     #[test]
-    fn cursor_walks_front_to_back() {
+    fn malformed_ops_is_a_typed_error_not_a_fallback() {
+        let err = parse_trace("{\"t_s\":0.5,\"ops\":12.0}\n{\"t_s\":1.0,\"ops\":bogus}\n", 7.0)
+            .expect_err("malformed ops must not parse");
+        assert_eq!(err.exit_code(), 2, "InvalidConfig → exit 2");
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "must carry the line number: {msg}");
+        assert!(msg.contains("ops"), "must name the field: {msg}");
+    }
+
+    /// A truncated final line — `"ops":` with the value sheared off —
+    /// must fail the same way (this is the crash-mid-write shape a
+    /// checkpointed emitter can leave behind).
+    #[test]
+    fn truncated_line_is_a_typed_error_with_line_number() {
+        let err = parse_trace("{\"t_s\":0.5,\"ops\":12.0}\n{\"t_s\":1.0,\"ops\":", 7.0)
+            .expect_err("truncated line must not parse");
+        assert_eq!(err.exit_code(), 2);
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "must carry the line number: {msg}");
+    }
+
+    #[test]
+    fn class_column_parses_validates_and_defaults() {
+        let parsed = parse_trace("{\"t_s\":1.0,\"ops\":2.0,\"class\":1}\n", 1.0).expect("parse");
+        assert_eq!(parsed[0].class, 1);
+        let defaulted = parse_trace("{\"t_s\":1.0,\"ops\":2.0}\n", 1.0).expect("parse");
+        assert_eq!(defaulted[0].class, 0);
+        assert!(parse_trace("{\"t_s\":1.0,\"class\":1.5}\n", 1.0).is_err());
+        assert!(parse_trace("{\"t_s\":1.0,\"class\":-1}\n", 1.0).is_err());
+        assert!(parse_trace("{\"t_s\":1.0,\"class\":}\n", 1.0).is_err());
+    }
+
+    #[test]
+    fn cursor_walks_front_to_back_and_seeks() {
         let mut c = ReplayCursor::new(vec![
-            Arrival { t_s: 0.0, ops: 1.0 },
-            Arrival { t_s: 1.0, ops: 2.0 },
+            Arrival::new(0.0, 1.0),
+            Arrival::new(1.0, 2.0),
         ]);
         assert_eq!(c.len(), 2);
         assert!(!c.is_empty());
+        assert_eq!(c.position(), 0);
         assert_eq!(c.next_arrival().map(|a| a.t_s), Some(0.0));
+        assert_eq!(c.position(), 1);
         assert_eq!(c.next_arrival().map(|a| a.t_s), Some(1.0));
         assert_eq!(c.next_arrival(), None);
+        c.seek(1).expect("in-range seek");
+        assert_eq!(c.next_arrival().map(|a| a.t_s), Some(1.0));
+        c.seek(2).expect("one-past-the-end is an exhausted cursor");
+        assert_eq!(c.next_arrival(), None);
+        assert!(c.seek(3).is_err(), "past-the-end seek is a snapshot/trace mismatch");
     }
 }

@@ -14,6 +14,7 @@
 
 use crate::calibration::{fit_demand, paper_row, Shape};
 use crate::demand::{NodeProfile, Workload};
+use enprop_faults::EnpropError;
 use enprop_nodesim::{Frictions, NodeSpec};
 
 /// Shapes and frictions for one workload (A9 shape, K10 shape, frictions).
@@ -181,6 +182,19 @@ pub fn by_name(name: &str) -> Option<Workload> {
         .map(build)
 }
 
+/// [`by_name`], with the miss as a typed configuration error that lists
+/// the catalog — so callers propagate one diagnostic instead of
+/// hand-rolling an unwrap or an exit.
+pub fn try_by_name(name: &str) -> Result<Workload, EnpropError> {
+    by_name(name).ok_or_else(|| {
+        let names: Vec<&'static str> = recipes().iter().map(|r| r.name).collect();
+        EnpropError::invalid_config(format!(
+            "unknown workload {name:?}; the catalog has: {}",
+            names.join(", ")
+        ))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +215,11 @@ mod tests {
         assert!(by_name("ep").is_some());
         assert!(by_name("rsa-2048").is_some());
         assert!(by_name("doom").is_none());
+        assert!(try_by_name("Memcached").is_ok());
+        let err = try_by_name("doom").unwrap_err();
+        assert_eq!(err.exit_code(), 2, "unknown workload is a config error");
+        let msg = err.to_string();
+        assert!(msg.contains("doom") && msg.contains("memcached"), "{msg}");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 # `./scripts/verify.sh` is the no-just fallback.
 
 # Build, test and lint the whole workspace (warnings are errors).
-verify: && obs-smoke perf-smoke serve-smoke obs-query-smoke lint-budget
+verify: && obs-smoke perf-smoke serve-smoke resume-smoke obs-query-smoke lint-budget
     cargo build --release --workspace --offline
     cargo test -q --workspace --offline
     cargo clippy --workspace --all-targets --offline -- -D warnings
@@ -60,6 +60,16 @@ serve-smoke:
     printf '%s\n' "$out" | grep -q "conservation: OK"
     cargo run --release -p enprop-bench --bin serve_replay --offline
     echo "serve-smoke: OK"
+
+# Crash-consistency gate (DESIGN.md §16): kill a checkpointed serving
+# run mid-flight, resume it from the snapshot, and require the report
+# and the telemetry tail to match the uninterrupted run bit for bit
+# (appends the resume wall time to BENCH_serve_replay.json).
+resume-smoke:
+    #!/usr/bin/env sh
+    set -eu
+    cargo build --release -p enprop-cli --offline
+    ENPROP=./target/release/enprop ./scripts/resume_smoke.sh
 
 # Observability-plane gate (DESIGN.md §14): record a chaos replay as a
 # raw JSONL trace, drive `enprop obs` over it (the per-window report

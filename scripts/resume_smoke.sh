@@ -1,0 +1,51 @@
+#!/usr/bin/env sh
+# resume-smoke: crash-consistent checkpoint/resume gate (DESIGN.md §16).
+#
+# Kill a checkpointed serving run mid-flight at a seed-derived event
+# count, resume it from the snapshot, and require bit-exact agreement
+# with the uninterrupted run twice over: the printed report must be
+# identical, and the resumed run's raw telemetry stream must equal the
+# tail of the uninterrupted run's stream line for line (the resume
+# invariant: event-for-event, joule-for-joule). Appends the resume wall
+# time to BENCH_serve_replay.json so regressions show up in the history.
+#
+# $ENPROP overrides the binary under test (default: the release build).
+set -eu
+cd "$(dirname "$0")/.."
+ENPROP="${ENPROP:-./target/release/enprop}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+seed=7
+# Seed-derived kill point: past the first checkpoint window, well before
+# the drain, for the 2000-request stream below (~5000 events).
+kill_at=$((1500 + seed % 500))
+flags="--requests 2000 --utilization 0.7 --mtbf 40 --rack-mtbf 25 \
+  --emergency-mtbf 30 --emergency-cap 80 --repair 5 --seed $seed --quiet"
+
+# Capture, then grep: piping into `grep -q` would close the pipe early
+# and kill the writer with EPIPE.
+# shellcheck disable=SC2086  # $flags is a word list by construction
+"$ENPROP" serve $flags --checkpoint-out "$tmp/ckpt.jsonl" \
+    --kill-after-events "$kill_at" > "$tmp/killed.txt"
+grep -q "run killed" "$tmp/killed.txt"
+test -f "$tmp/ckpt.jsonl"
+grep -q "enprop-snapshot-v1" "$tmp/ckpt.jsonl"
+
+start_ns=$(date +%s%N)
+# shellcheck disable=SC2086
+"$ENPROP" serve $flags --resume-from "$tmp/ckpt.jsonl" \
+    --trace-out "$tmp/resumed.jsonl" > "$tmp/resumed.txt"
+wall_ms=$(( ($(date +%s%N) - start_ns) / 1000000 ))
+# shellcheck disable=SC2086
+"$ENPROP" serve $flags --trace-out "$tmp/full.jsonl" > "$tmp/full.txt"
+
+diff "$tmp/resumed.txt" "$tmp/full.txt"
+grep -q "conservation: OK" "$tmp/full.txt"
+# The resumed telemetry stream is the tail of the uninterrupted one.
+tail_lines="$(wc -l < "$tmp/resumed.jsonl")"
+tail -n "$tail_lines" "$tmp/full.jsonl" | diff - "$tmp/resumed.jsonl"
+
+printf '{"cmd":"serve.resume","wall_ms":%s,"seed":%s}\n' \
+    "$wall_ms" "$seed" >> BENCH_serve_replay.json
+echo "resume-smoke: OK (killed at event $kill_at, resumed in ${wall_ms} ms)"

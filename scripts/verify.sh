@@ -43,6 +43,8 @@ serve_out="$(./target/release/enprop replay --trace examples/replay_trace.jsonl 
 printf '%s\n' "$serve_out"
 printf '%s\n' "$serve_out" | grep -q "conservation: OK"
 cargo run --release -p enprop-bench --bin serve_replay --offline
+echo "==> resume smoke (kill mid-run, resume from checkpoint, diff bit-exactly)"
+ENPROP=./target/release/enprop ./scripts/resume_smoke.sh
 echo "==> obs query smoke (windowed report + trace query + plane overhead gate)"
 ./target/release/enprop replay --trace examples/replay_trace.jsonl \
     --mtbf 6 --stall 2 --slowdown 3 --repair 5 --seed 7 \
