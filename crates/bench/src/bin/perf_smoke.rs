@@ -11,9 +11,18 @@
 //! few dozen operating points, so pooled+cache must beat the uncached
 //! baseline regardless of parallelism. A `MARGIN` absorbs scheduler
 //! noise on loaded machines.
+//!
+//! A second, mega-scale scenario covers the blind spot the small sweep
+//! leaves: the first 10^6 configurations of a DALEK-style four-type
+//! space, pooled/uncached (materializing) vs streaming/pruned
+//! (`stream_pareto_front`, DESIGN.md §17). The streamed path must be at
+//! least `STREAM_SPEEDUP`× faster — the win comes from SoA evaluation
+//! and dominance pruning, not parallelism, so it too holds on one core.
+//! Appends `space_eval.pooled_1m` and `space_eval.stream_pruned` rows.
 
 use enprop_explore::{
-    configurations, count_configurations, evaluate_space_with, EvalOptions, TypeSpace,
+    configurations, count_configurations, evaluate_space_with, stream_pareto_front, EvalOptions,
+    StreamOptions, TypeSpace,
 };
 use enprop_obs::{append_bench_record, BenchRecord};
 use enprop_workloads::Workload;
@@ -25,17 +34,30 @@ use std::time::Instant;
 const REPS: usize = 3;
 /// Tolerated noise factor on the pooled+cache ≤ sequential bound.
 const MARGIN: f64 = 1.2;
+/// Mega-scale scenario size: enough configurations that materializing
+/// the space visibly hurts, small enough to stay a smoke test.
+const MEGA_CAP: u64 = 1_000_000;
+/// Required speedup of streaming/pruned over pooled/uncached at
+/// `MEGA_CAP` configurations (ISSUE satellite; DESIGN.md §17).
+const STREAM_SPEEDUP: f64 = 2.0;
 
-/// Best wall-clock milliseconds for a full sweep under `opts`.
-fn best_ms(w: &Workload, types: &[TypeSpace], opts: EvalOptions) -> f64 {
+/// Best wall-clock milliseconds over `REPS` runs of `f`.
+fn best_of(mut f: impl FnMut()) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..REPS {
         let start = Instant::now();
-        let (evald, _) = evaluate_space_with(w, configurations(types), opts);
+        f();
         best = best.min(start.elapsed().as_secs_f64() * 1e3);
-        assert_eq!(evald.len(), count_configurations(types) as usize);
     }
     best
+}
+
+/// Best wall-clock milliseconds for a full sweep under `opts`.
+fn best_ms(w: &Workload, types: &[TypeSpace], opts: EvalOptions) -> f64 {
+    best_of(|| {
+        let (evald, _) = evaluate_space_with(w, configurations(types), opts);
+        assert_eq!(evald.len(), count_configurations(types) as usize);
+    })
 }
 
 fn main() -> ExitCode {
@@ -72,6 +94,58 @@ fn main() -> ExitCode {
         seq / cached
     );
 
+    // Mega-scale scenario: the first MEGA_CAP configurations of a
+    // DALEK-style four-type space. The pooled path materializes every
+    // EvaluatedConfig; the streamed path keeps only the frontier.
+    let mega_types = [
+        TypeSpace::a9(10),
+        TypeSpace::k10(10),
+        TypeSpace::pi4(16),
+        TypeSpace::opi5(16),
+    ];
+    let mega_w =
+        enprop_workloads::catalog::dalek("EP").expect("EP has a DALEK-extended profile set");
+    let mega_total = count_configurations(&mega_types);
+    println!("perf-smoke: EP/DALEK over {MEGA_CAP} of {mega_total} configurations");
+
+    let pooled_1m = best_of(|| {
+        let iter = configurations(&mega_types).take(MEGA_CAP as usize);
+        let (evald, _) = evaluate_space_with(
+            &mega_w,
+            iter,
+            EvalOptions {
+                threads: None,
+                cache: false,
+            },
+        );
+        assert_eq!(evald.len(), MEGA_CAP as usize);
+    });
+    let mut mega_stats = None;
+    let stream = best_of(|| {
+        let (front, stats) = stream_pareto_front(
+            &mega_w,
+            &mega_types,
+            StreamOptions {
+                max_configs: Some(MEGA_CAP),
+                ..StreamOptions::default()
+            },
+        );
+        assert!(!front.is_empty());
+        assert_eq!(stats.evaluated as u64 + stats.pruned, MEGA_CAP);
+        mega_stats = Some(stats);
+    });
+    let mega_stats = mega_stats.expect("at least one streamed rep ran");
+    println!(
+        "  pooled/uncached     : {pooled_1m:>8.2} ms (materializes {MEGA_CAP} configs)"
+    );
+    println!(
+        "  streaming + pruned  : {stream:>8.2} ms ({:.2}x, {:.1}% pruned, frontier {}, peak {} KiB)",
+        pooled_1m / stream,
+        100.0 * mega_stats.pruned as f64 / MEGA_CAP as f64,
+        mega_stats.frontier_len,
+        mega_stats.peak_buffer_bytes / 1024,
+    );
+
     let path = Path::new("BENCH_space_eval.json");
     // `seed` records the pool size: the sweep has no RNG, and the thread
     // count is the one knob that changes the timing's meaning.
@@ -79,6 +153,8 @@ fn main() -> ExitCode {
         ("space_eval.seq1", seq),
         ("space_eval.pooled", pooled),
         ("space_eval.pooled_cached", cached),
+        ("space_eval.pooled_1m", pooled_1m),
+        ("space_eval.stream_pruned", stream),
     ] {
         let record = BenchRecord::new(cmd, wall_ms, threads as u64);
         if let Err(e) = append_bench_record(path, &record) {
@@ -86,7 +162,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     }
-    println!("  appended 3 records to {}", path.display());
+    println!("  appended 5 records to {}", path.display());
 
     if cached > seq * MARGIN {
         eprintln!(
@@ -95,6 +171,14 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
-    println!("perf-smoke: OK (pooled+memoized <= sequential x {MARGIN})");
+    if stream * STREAM_SPEEDUP > pooled_1m {
+        eprintln!(
+            "perf-smoke: FAIL — streaming/pruned sweep ({stream:.2} ms) is not \
+             {STREAM_SPEEDUP}x faster than pooled/uncached ({pooled_1m:.2} ms) \
+             at {MEGA_CAP} configurations"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("perf-smoke: OK (pooled+memoized <= sequential x {MARGIN}; streaming >= {STREAM_SPEEDUP}x pooled at {MEGA_CAP})");
     ExitCode::SUCCESS
 }

@@ -4,12 +4,13 @@
 use super::Opts;
 use crate::diag;
 use crate::output::{fmt_sig, render_csv, render_table};
+use enprop_clustersim::EnpropError;
 use enprop_explore::{
-    configurations, count_configurations, evaluate_space_with, pareto_front, sweet_spot,
-    EvalOptions, EvaluatedConfig, TypeSpace,
+    configurations, count_configurations, evaluate_space_with, pareto_front, stream_pareto_front,
+    sweet_spot, EvalOptions, EvaluatedConfig, StreamOptions, TypeSpace,
 };
 use enprop_obs::{Recorder, Track};
-use enprop_workloads::Workload;
+use enprop_workloads::{catalog, Workload};
 
 /// Evaluate a configuration space on the pool with memoized operating
 /// points, narrating what the pipeline did: pool size, chunking and cache
@@ -112,6 +113,192 @@ pub fn pareto_cmd(opts: &Opts, a9_max: u32, k10_max: u32, ctx: &mut super::ObsCt
         }
         println!("\nfrontier size: {} of {} configurations", front.len(), evald.len());
     }
+}
+
+/// Options of the `space` command.
+#[derive(Debug, Clone)]
+pub struct SpaceOpts {
+    /// The `--types a9:10,k10:10,pi4:16` space description.
+    pub types: String,
+    /// Stream with dominance pruning instead of materializing.
+    pub stream: bool,
+    /// Evaluate only the first N configurations of enumeration order.
+    pub max_configs: Option<u64>,
+    /// Streaming chunk size override.
+    pub chunk: Option<usize>,
+}
+
+/// Materializing this many `EvaluatedConfig`s is where O(space) memory
+/// stops being funny; beyond it the command insists on `--stream`.
+const MATERIALIZE_LIMIT: u64 = 2_000_000;
+
+fn parse_type_list(arg: &str) -> Result<Vec<TypeSpace>, EnpropError> {
+    let mut types = Vec::new();
+    for part in arg.split(',') {
+        let (name, count) = part.split_once(':').ok_or_else(|| {
+            EnpropError::invalid_parameter(
+                "--types",
+                format!("expected NAME:MAX_NODES entries, got {part:?}"),
+            )
+        })?;
+        let max_nodes: u32 = count.trim().parse().map_err(|_| {
+            EnpropError::invalid_parameter(
+                "--types",
+                format!("max nodes in {part:?} is not a number"),
+            )
+        })?;
+        types.push(TypeSpace::try_named(name.trim(), max_nodes)?);
+    }
+    if types.is_empty() {
+        return Err(EnpropError::invalid_parameter(
+            "--types",
+            "at least one NAME:MAX_NODES entry required",
+        ));
+    }
+    Ok(types)
+}
+
+/// `enprop space`: DALEK-style configuration-space exploration over any
+/// mix of catalog node types, with the streaming dominance-pruned
+/// evaluator for mega-scale spaces.
+pub fn space_cmd(opts: &Opts, so: &SpaceOpts, ctx: &mut super::ObsCtx) -> Result<(), EnpropError> {
+    let name = opts.workload.clone().unwrap_or_else(|| "EP".into());
+    // The DALEK catalog carries profiles for all six node types and keeps
+    // the A9/K10 rows identical to the base catalog, so any --types mix
+    // resolves against one workload object.
+    let w = catalog::dalek(&name).unwrap_or_else(|| super::resolve_workload(&name));
+    let types = parse_type_list(&so.types)?;
+    let total = count_configurations(&types);
+
+    println!("Configuration space: {name} over {}\n", so.types);
+    let mut fleet = vec![vec![
+        "Type".into(),
+        "max nodes".into(),
+        "tuples".into(),
+        "fleet idle [W]".into(),
+        "fleet switch [W]".into(),
+    ]];
+    for t in &types {
+        fleet.push(vec![
+            t.spec.name.to_string(),
+            t.max_nodes.to_string(),
+            t.tuple_count().to_string(),
+            fmt_sig(t.fleet_idle_w()),
+            fmt_sig(t.fleet_switch_w()),
+        ]);
+    }
+    if opts.csv {
+        print!("{}", render_csv(&fleet));
+    } else {
+        print!("{}", render_table(&fleet));
+    }
+    println!("\ntotal configurations: {total}");
+
+    let (front, stats) = if so.stream {
+        let stream_opts = StreamOptions {
+            chunk: so.chunk.unwrap_or_else(|| StreamOptions::default().chunk),
+            max_configs: so.max_configs,
+            ..StreamOptions::default()
+        };
+        stream_pareto_front(&w, &types, stream_opts)
+    } else {
+        let cap = so.max_configs.map_or(total, |m| m.min(total));
+        if cap > MATERIALIZE_LIMIT {
+            return Err(EnpropError::invalid_config(format!(
+                "{cap} configurations would be materialized (> {MATERIALIZE_LIMIT}); \
+                 pass --stream for O(frontier) memory, or cap with --max-configs"
+            )));
+        }
+        let cap_usize = usize::try_from(cap).unwrap_or(usize::MAX);
+        let configs: Vec<_> = configurations(&types).take(cap_usize).collect();
+        let (evald, stats) = evaluate_space_with(&w, configs, EvalOptions::default());
+        let points = enprop_explore::pareto_indices(&evald, |e| (e.job_time, e.job_energy))
+            .into_iter()
+            .map(|i| enprop_explore::ParetoPoint {
+                index: i as u64,
+                eval: evald[i].clone(),
+            })
+            .collect();
+        (points, stats)
+    };
+
+    let evaluated = stats.evaluated as u64 + stats.pruned;
+    diag::info(format!(
+        "{} of {evaluated} configurations pruned before evaluation ({:.1}%), \
+         {} fully evaluated on {} thread(s)",
+        stats.pruned,
+        100.0 * stats.pruned as f64 / evaluated.max(1) as f64,
+        stats.evaluated,
+        stats.threads
+    ));
+    diag::info(format!(
+        "peak evaluation buffer: {} KiB; frontier {} point(s)",
+        stats.peak_buffer_bytes / 1024,
+        front.len()
+    ));
+    if let Some(rec) = ctx.rec.as_memory_mut() {
+        let t_end = evaluated as f64;
+        rec.counter(t_end, Track::Explore, "explore.configs", evaluated);
+        rec.counter(t_end, Track::Explore, "explore.stream.pruned", stats.pruned);
+        rec.counter(
+            t_end,
+            Track::Explore,
+            "explore.stream.frontier_len",
+            front.len() as u64,
+        );
+        rec.counter(
+            t_end,
+            Track::Explore,
+            "explore.stream.peak_buffer_bytes",
+            stats.peak_buffer_bytes as u64,
+        );
+        if let Some(c) = stats.cache {
+            rec.counter(t_end, Track::Explore, "explore.cache.hits", c.hits);
+            rec.counter(t_end, Track::Explore, "explore.cache.misses", c.misses);
+        }
+    }
+
+    let mut rows = vec![vec![
+        "Configuration".into(),
+        "cores/freq".into(),
+        "T_job [s]".into(),
+        "E_job [J]".into(),
+        "P_busy [W]".into(),
+        "P_idle [W]".into(),
+    ]];
+    for p in front.iter().take(40) {
+        let e = &p.eval;
+        let cf: Vec<String> = e
+            .cluster
+            .groups
+            .iter()
+            .filter(|g| g.count > 0)
+            .map(|g| format!("{}x{}c@{:.1}GHz", g.spec.name, g.cores, g.freq / 1e9))
+            .collect();
+        rows.push(vec![
+            e.cluster.label(),
+            cf.join(" "),
+            fmt_sig(e.job_time),
+            fmt_sig(e.job_energy),
+            fmt_sig(e.busy_power_w),
+            fmt_sig(e.idle_power_w),
+        ]);
+    }
+    println!();
+    if opts.csv {
+        print!("{}", render_csv(&rows));
+    } else {
+        print!("{}", render_table(&rows));
+        if front.len() > 40 {
+            println!("… {} more frontier points", front.len() - 40);
+        }
+        println!(
+            "\nfrontier: {} of {evaluated} configurations ({} pruned before evaluation)",
+            front.len(),
+            stats.pruned
+        );
+    }
+    Ok(())
 }
 
 /// Sweet-spot query: minimum-energy configuration under a deadline.

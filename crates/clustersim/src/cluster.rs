@@ -92,6 +92,14 @@ impl NodeGroup {
         // per-workload busy power.
         self.count as f64 * budget_nameplate(&self.spec) + switch
     }
+
+    /// Idle watts of this group (nodes only — switch power stays out of
+    /// the proportionality metrics, see [`SwitchOverhead`]). Exposed so
+    /// space enumeration can precompute per-type idle columns with the
+    /// same multiply [`ClusterSpec::idle_w`] performs.
+    pub fn idle_w(&self) -> f64 {
+        self.count as f64 * self.spec.power.sys_idle_w
+    }
 }
 
 /// The nameplate wattage used in the paper's budget arithmetic: 5 W for
@@ -157,10 +165,7 @@ impl ClusterSpec {
 
     /// Cluster idle power (nodes only, per the paper's metric convention).
     pub fn idle_w(&self) -> f64 {
-        self.groups
-            .iter()
-            .map(|g| g.count as f64 * g.spec.power.sys_idle_w)
-            .sum()
+        self.groups.iter().map(|g| g.idle_w()).sum()
     }
 
     /// Nameplate peak watts including interconnect (budget accounting).

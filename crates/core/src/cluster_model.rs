@@ -14,7 +14,7 @@ use enprop_metrics::{
     LinearCurve, PowerCurve, PprCurve, ProportionalityMetrics, ThroughputCurve,
 };
 use enprop_queueing::{BatchMD1, MD1};
-use enprop_workloads::{SingleNodeModel, Workload};
+use enprop_workloads::Workload;
 
 /// The analytic model of one workload on one cluster configuration.
 #[derive(Debug, Clone)]
@@ -92,12 +92,14 @@ impl ClusterModel {
     /// Modeled energy of one job (`E_P = Σ_i E_i · n_i`), joules.
     ///
     /// Computed in per-op form — `n_i · (ops_i · E_i(1 op))` — which is
-    /// valid because every time term of [`SingleNodeModel`] is linear
-    /// through the origin in ops. The per-op factor depends only on
-    /// `(workload, node type, cores, freq)`, so `enprop-explore`'s
-    /// `EvalCache` can memoize it and reproduce this exact sequence of
-    /// floating-point operations; keep the two in lockstep (bit-identity
-    /// is covered by explore's cache-consistency tests).
+    /// valid because every time term of
+    /// [`SingleNodeModel`](enprop_workloads::SingleNodeModel) is linear
+    /// through the origin in ops. The per-op factor comes from the shared
+    /// [`Workload::try_operating_point`] accessor, the same call
+    /// `enprop-explore`'s `EvalCache` memoizes and its streaming SoA
+    /// evaluator fills columns from — so all three paths compose the same
+    /// floating-point values by construction (bit-identity is covered by
+    /// explore's cache-consistency and streaming proptests).
     pub fn job_energy(&self) -> f64 {
         let ops = self.workload.ops_per_job;
         let mut energy = 0.0;
@@ -105,14 +107,12 @@ impl ClusterModel {
             if g.count == 0 {
                 continue;
             }
-            let profile = self
+            let point = self
                 .workload
-                .try_profile(g.spec.name)
+                .try_operating_point(g.spec.name, g.cores, g.freq)
                 .expect("profiles validated at construction");
-            let model = SingleNodeModel::new(&profile.spec, &profile.demand, self.workload.io_rate);
-            let energy_per_op = model.energy(1.0, g.cores, g.freq).total();
             let node_ops = self.split.ops_frac[gi] * ops;
-            energy += g.count as f64 * (node_ops * energy_per_op);
+            energy += g.count as f64 * (node_ops * point.j_per_op);
         }
         energy
     }

@@ -34,19 +34,9 @@
 
 use crate::space::EvaluatedConfig;
 use enprop_clustersim::ClusterSpec;
-use enprop_workloads::{SingleNodeModel, Workload};
+use enprop_workloads::{OperatingPoint, Workload};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-
-/// One memoized operating point: what the split and energy model need
-/// from a `(node type, cores, freq)` tuple.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct NodePoint {
-    /// Modeled execution rate of one node, ops/s.
-    rate_ops_s: f64,
-    /// Modeled energy of one op on one node, joules.
-    energy_per_op: f64,
-}
 
 /// Cache key. The frequency is keyed by its bit pattern: operating points
 /// come from the spec's DVFS table, so equal frequencies are bit-equal.
@@ -59,7 +49,7 @@ struct PointKey {
 
 #[derive(Debug, Default)]
 struct Inner {
-    map: HashMap<PointKey, NodePoint>,
+    map: HashMap<PointKey, OperatingPoint>,
     hits: u64,
     misses: u64,
 }
@@ -121,7 +111,17 @@ impl EvalCache {
     /// (closed-form model arithmetic, ≲ 40 distinct keys per space) and
     /// atomicity makes each key miss exactly once, keeping
     /// [`CacheStats`] deterministic under any thread interleaving.
-    fn point(&self, workload: &Workload, node: &'static str, cores: u32, freq: f64) -> NodePoint {
+    ///
+    /// `pub(crate)` so the streaming SoA evaluator ([`crate::stream`])
+    /// fills its per-type columns through the same memo — one model fill
+    /// per distinct `(workload, type, cores, freq)` column entry.
+    pub(crate) fn point(
+        &self,
+        workload: &Workload,
+        node: &'static str,
+        cores: u32,
+        freq: f64,
+    ) -> OperatingPoint {
         debug_assert_eq!(
             workload.name, self.workload,
             "EvalCache built for {} used with {}",
@@ -137,14 +137,9 @@ impl EvalCache {
             inner.hits += 1;
             return p;
         }
-        let profile = workload
-            .try_profile(node)
+        let p = workload
+            .try_operating_point(node, cores, freq)
             .unwrap_or_else(|e| panic!("{e}"));
-        let model = SingleNodeModel::new(&profile.spec, &profile.demand, workload.io_rate);
-        let p = NodePoint {
-            rate_ops_s: model.throughput(cores, freq),
-            energy_per_op: model.energy(1.0, cores, freq).total(),
-        };
         inner.misses += 1;
         inner.map.insert(key, p);
         p
@@ -185,7 +180,7 @@ impl EvalCache {
             }
             let p = self.point(workload, g.spec.name, g.cores, g.freq);
             let node_ops = (node_rate_ops_s[gi] / cluster_rate_ops_s) * ops;
-            job_energy_j += g.count as f64 * (node_ops * p.energy_per_op);
+            job_energy_j += g.count as f64 * (node_ops * p.j_per_op);
         }
         let busy_power_w = job_energy_j / job_time_s;
         EvaluatedConfig {
@@ -202,7 +197,7 @@ impl EvalCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::space::{enumerate_configurations, evaluate_config, TypeSpace};
+    use crate::space::{configurations, evaluate_config, TypeSpace};
     use enprop_workloads::catalog;
 
     #[test]
@@ -211,7 +206,7 @@ mod tests {
             let w = catalog::by_name(name).unwrap();
             let cache = EvalCache::new(&w);
             let types = [TypeSpace::a9(3), TypeSpace::k10(2)];
-            for cluster in enumerate_configurations(&types) {
+            for cluster in configurations(&types) {
                 let plain = evaluate_config(&w, cluster.clone(), None);
                 let cached = cache.evaluate(&w, cluster);
                 assert_eq!(plain.job_time.to_bits(), cached.job_time.to_bits());
@@ -228,7 +223,7 @@ mod tests {
         let w = catalog::by_name("EP").unwrap();
         let cache = EvalCache::new(&w);
         let types = [TypeSpace::a9(3), TypeSpace::k10(2)];
-        for cluster in enumerate_configurations(&types) {
+        for cluster in configurations(&types) {
             let _ = cache.evaluate(&w, cluster);
         }
         let stats = cache.stats();
@@ -243,13 +238,13 @@ mod tests {
         let w = catalog::by_name("EP").unwrap();
         let cache = EvalCache::new(&w);
         let types = [TypeSpace::a9(2), TypeSpace::k10(1)];
-        let configs = enumerate_configurations(&types);
-        // Two lookups (rate + energy) per non-empty group per config.
-        let lookups: u64 = configs
-            .iter()
+        // Two lookups (rate + energy) per non-empty group per config; the
+        // streaming iterator is deterministic, so two passes see the same
+        // configurations without materializing the space.
+        let lookups: u64 = configurations(&types)
             .map(|c| 2 * c.groups.iter().filter(|g| g.count > 0).count() as u64)
             .sum();
-        for cluster in configs {
+        for cluster in configurations(&types) {
             let _ = cache.evaluate(&w, cluster);
         }
         let stats = cache.stats();

@@ -36,13 +36,16 @@ mod pareto;
 mod search;
 mod sleep;
 mod space;
+mod stream;
 mod sublinear;
 mod sweet;
 
 pub use budget::{budget_mixes, substitution_ratio, PAPER_BUDGET_W};
 pub use cache::{CacheStats, EvalCache};
 pub use dynamic::DynamicEnvelope;
-pub use pareto::{knee_point, pareto_front, pareto_indices};
+pub use pareto::{
+    knee_point, pareto_front, pareto_indices, pareto_indices_staircase, Frontier, FrontierPoint,
+};
 pub use search::{local_search, SearchResult};
 pub use sleep::{SleepManagedCluster, SleepPolicy};
 pub use space::{
@@ -50,5 +53,6 @@ pub use space::{
     evaluate_space, evaluate_space_with, set_eval_threads, Configurations, EvalOptions, EvalStats,
     EvaluatedConfig, TypeSpace,
 };
+pub use stream::{stream_pareto_front, ParetoPoint, StreamOptions};
 pub use sublinear::{response_time_series, sublinear_report, SublinearReport};
 pub use sweet::{sweet_region, sweet_spot};

@@ -219,7 +219,7 @@ pub fn local_search(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::space::{enumerate_configurations, evaluate_space};
+    use crate::space::{configurations, evaluate_space};
     use crate::sweet::sweet_spot;
     use enprop_workloads::catalog;
 
@@ -227,7 +227,7 @@ mod tests {
     fn matches_exact_optimum_on_enumerable_spaces() {
         let w = catalog::by_name("EP").unwrap();
         let types = [TypeSpace::a9(3), TypeSpace::k10(2)];
-        let evald = evaluate_space(&w, enumerate_configurations(&types));
+        let evald = evaluate_space(&w, configurations(&types));
         for deadline in [0.05, 0.2, 1.0] {
             let exact = sweet_spot(&evald, deadline);
             let found = local_search(&w, &types, deadline, 12, 42);

@@ -69,10 +69,67 @@ impl TypeSpace {
         }
     }
 
+    /// Raspberry Pi 4 space (DALEK-style small node; wimpy nodes share
+    /// the paper's amortized-switch budgeting convention).
+    pub fn pi4(max_nodes: u32) -> Self {
+        TypeSpace {
+            spec: Arc::new(NodeSpec::raspberry_pi4()),
+            max_nodes,
+            switch: Some(SwitchOverhead::paper_a9()),
+        }
+    }
+
+    /// Orange Pi 5 space (DALEK-style small node).
+    pub fn opi5(max_nodes: u32) -> Self {
+        TypeSpace {
+            spec: Arc::new(NodeSpec::orange_pi5()),
+            max_nodes,
+            switch: Some(SwitchOverhead::paper_a9()),
+        }
+    }
+
+    /// A space over a caller-supplied node type with explicit switch
+    /// overhead — the building block behind every named constructor.
+    pub fn custom(spec: NodeSpec, max_nodes: u32, switch: Option<SwitchOverhead>) -> Self {
+        TypeSpace {
+            spec: Arc::new(spec),
+            max_nodes,
+            switch,
+        }
+    }
+
+    /// Look up a type space by catalog name (`a9`, `k10`, `a15`, `xeon`,
+    /// `pi4`, `opi5`, case-insensitive) — the CLI's `--types` vocabulary.
+    pub fn try_named(name: &str, max_nodes: u32) -> Result<Self, enprop_faults::EnpropError> {
+        match name.to_ascii_lowercase().as_str() {
+            "a9" => Ok(TypeSpace::a9(max_nodes)),
+            "k10" => Ok(TypeSpace::k10(max_nodes)),
+            "a15" => Ok(TypeSpace::a15(max_nodes)),
+            "xeon" | "xeone5" => Ok(TypeSpace::xeon(max_nodes)),
+            "pi4" => Ok(TypeSpace::pi4(max_nodes)),
+            "opi5" => Ok(TypeSpace::opi5(max_nodes)),
+            other => Err(enprop_faults::EnpropError::invalid_config(format!(
+                "unknown node type {other:?}; known: a9, k10, a15, xeon, pi4, opi5"
+            ))),
+        }
+    }
+
     /// Number of non-empty tuples this type contributes:
     /// `n_max × cores × |frequencies|`.
     pub fn tuple_count(&self) -> u64 {
         self.max_nodes as u64 * self.spec.cores as u64 * self.spec.frequencies.len() as u64
+    }
+
+    /// Idle watts of this type's full fleet (`max_nodes` nodes), the
+    /// per-type idle-power surface DALEK-style analyses sweep against.
+    pub fn fleet_idle_w(&self) -> f64 {
+        self.max_nodes as f64 * self.spec.power.sys_idle_w
+    }
+
+    /// Switch watts this type's full fleet draws under its budgeting
+    /// convention (0 when interconnect overhead is not modeled).
+    pub fn fleet_switch_w(&self) -> f64 {
+        self.switch.map_or(0.0, |s| s.watts_for(self.max_nodes))
     }
 }
 
@@ -82,9 +139,17 @@ impl TypeSpace {
 /// ```text
 /// Π_i (1 + n_max,i · c_max,i · |F_i|) − 1
 /// ```
+///
+/// Saturates at `u64::MAX`: with six DALEK node types the product can
+/// overflow 64 bits, and every caller treats the count as "at least this
+/// many", so a saturated count is still correct for chunking and capping.
 pub fn count_configurations(types: &[TypeSpace]) -> u64 {
-    let product: u64 = types.iter().map(|t| 1 + t.tuple_count()).product();
-    product - 1
+    let product = types
+        .iter()
+        .map(|t| 1 + t.tuple_count() as u128)
+        .try_fold(1u128, u128::checked_mul)
+        .unwrap_or(u128::MAX);
+    u64::try_from(product - 1).unwrap_or(u64::MAX)
 }
 
 /// Streaming enumeration of every configuration in the space, in a fixed
@@ -253,6 +318,16 @@ pub struct EvalStats {
     pub chunk_len: usize,
     /// Number of chunks the source was split into.
     pub chunks: usize,
+    /// Configurations rejected by dominance pruning *before* full
+    /// evaluation (always 0 on the materializing path — only the
+    /// streaming evaluator prunes).
+    pub pruned: u64,
+    /// Size of the resulting Pareto frontier (0 when the run does not
+    /// maintain one).
+    pub frontier_len: usize,
+    /// Peak bytes of evaluation buffering: O(space) for the materializing
+    /// path, O(frontier + chunk) for the streaming path.
+    pub peak_buffer_bytes: usize,
     /// Cache totals, when caching was on.
     pub cache: Option<CacheStats>,
 }
@@ -260,7 +335,13 @@ pub struct EvalStats {
 /// Evaluate every configuration under the Table-2 model on the thread
 /// pool, with memoized operating points (both default-on; results are
 /// bit-identical to a sequential uncached run for any thread count).
-pub fn evaluate_space(workload: &Workload, configs: Vec<ClusterSpec>) -> Vec<EvaluatedConfig> {
+/// Accepts a `Vec` or the streaming [`configurations`] iterator — prefer
+/// the latter, which skips materializing the input space.
+pub fn evaluate_space<C>(workload: &Workload, configs: C) -> Vec<EvaluatedConfig>
+where
+    C: IntoIterator<Item = ClusterSpec>,
+    C::IntoIter: Send,
+{
     evaluate_space_with(workload, configs, EvalOptions::default()).0
 }
 
@@ -299,6 +380,9 @@ where
         threads,
         chunk_len,
         chunks,
+        pruned: 0,
+        frontier_len: 0,
+        peak_buffer_bytes: out.len() * std::mem::size_of::<EvaluatedConfig>(),
         cache: cache.map(|c| c.stats()),
     };
     (out, stats)
@@ -452,6 +536,50 @@ mod tests {
             assert_eq!(stats.cache, reference.cache, "threads = {threads}");
             assert_eq!(stats.evaluated, reference.evaluated);
         }
+    }
+
+    #[test]
+    fn dalek_space_reaches_mega_scale() {
+        // Six node types with modest fleet caps blow past 10^7 configs —
+        // the scale the streaming evaluator exists for.
+        let types = [
+            TypeSpace::a9(10),
+            TypeSpace::k10(10),
+            TypeSpace::a15(10),
+            TypeSpace::xeon(10),
+            TypeSpace::pi4(16),
+            TypeSpace::opi5(16),
+        ];
+        assert!(count_configurations(&types) > 10_000_000_000_000u64);
+        // ...and the count saturates instead of overflowing on absurd caps.
+        let huge: Vec<TypeSpace> = (0..40).map(|_| TypeSpace::xeon(u32::MAX)).collect();
+        assert_eq!(count_configurations(&huge), u64::MAX);
+    }
+
+    #[test]
+    fn named_type_lookup_covers_the_catalog() {
+        for (name, node) in [
+            ("a9", "A9"),
+            ("K10", "K10"),
+            ("a15", "A15"),
+            ("xeon", "XeonE5"),
+            ("Pi4", "Pi4"),
+            ("opi5", "OPi5"),
+        ] {
+            let t = TypeSpace::try_named(name, 4).unwrap();
+            assert_eq!(t.spec.name, node);
+            assert_eq!(t.max_nodes, 4);
+        }
+        assert!(TypeSpace::try_named("z80", 1).is_err());
+    }
+
+    #[test]
+    fn fleet_power_matches_cluster_accounting() {
+        let t = TypeSpace::a9(10);
+        // 10 × 1.8 W idle; 10 nodes → 2 switches × 20 W.
+        assert!((t.fleet_idle_w() - 18.0).abs() < 1e-12);
+        assert!((t.fleet_switch_w() - 40.0).abs() < 1e-12);
+        assert_eq!(TypeSpace::k10(10).fleet_switch_w(), 0.0);
     }
 
     #[test]

@@ -33,13 +33,13 @@ pub fn sweet_region(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::space::{enumerate_configurations, evaluate_space, TypeSpace};
+    use crate::space::{configurations, evaluate_space, TypeSpace};
     use enprop_workloads::catalog;
 
     fn small_space() -> Vec<EvaluatedConfig> {
         let w = catalog::by_name("EP").unwrap();
         let types = [TypeSpace::a9(3), TypeSpace::k10(2)];
-        evaluate_space(&w, enumerate_configurations(&types))
+        evaluate_space(&w, configurations(&types))
     }
 
     #[test]

@@ -142,6 +142,59 @@ impl NodeSpec {
         }
     }
 
+    /// A Raspberry Pi 4 class node (DALEK-style unconventional cluster
+    /// building block): Cortex-A72, 4 cores, 0.6–1.5 GHz, 4 GB LPDDR4,
+    /// gigabit NIC. Power calibration follows published board-level
+    /// measurements: ~2.1 W idle, ~6 W package peak.
+    pub fn raspberry_pi4() -> Self {
+        NodeSpec {
+            name: "Pi4",
+            isa: "ARMv8-A",
+            cores: 4,
+            frequencies: vec![0.6e9, 1.0e9, 1.5e9],
+            l1d_per_core: 32 << 10,
+            l2_total: 1 << 20,
+            l3_total: 0,
+            memory: 4u64 << 30,
+            mem_bandwidth: 4.0e9,          // LPDDR4 sustainable
+            net_bandwidth: 1000.0e6 / 8.0, // 1 Gbps
+            power: PowerSpec {
+                sys_idle_w: 2.1,
+                core_act_w: 0.55,
+                core_stall_w: 0.18,
+                mem_w: 0.30,
+                net_w: 0.35,
+                freq_exp: 2.0,
+            },
+        }
+    }
+
+    /// An Orange Pi 5 class node (RK3588-style big core cluster treated as
+    /// 8 uniform cores): 0.8–2.4 GHz, 8 GB LPDDR4X, gigabit NIC. Idle
+    /// ~3.4 W, peak ~10 W — the "wimpy but modern" point of a DALEK mix.
+    pub fn orange_pi5() -> Self {
+        NodeSpec {
+            name: "OPi5",
+            isa: "ARMv8.2-A",
+            cores: 8,
+            frequencies: vec![0.8e9, 1.4e9, 1.8e9, 2.4e9],
+            l1d_per_core: 64 << 10,
+            l2_total: 2 << 20,
+            l3_total: 3 << 20,
+            memory: 8u64 << 30,
+            mem_bandwidth: 8.0e9,          // LPDDR4X sustainable
+            net_bandwidth: 1000.0e6 / 8.0, // 1 Gbps
+            power: PowerSpec {
+                sys_idle_w: 3.4,
+                core_act_w: 0.70,
+                core_stall_w: 0.22,
+                mem_w: 0.45,
+                net_w: 0.35,
+                freq_exp: 2.1,
+            },
+        }
+    }
+
     /// Highest selectable core frequency, Hz.
     pub fn fmax(&self) -> f64 {
         *self
@@ -232,6 +285,22 @@ mod tests {
         assert_eq!(a9.power.sys_idle_w, 1.8);
         assert_eq!(k10.power.sys_idle_w, 45.0);
         assert!(k10.power.sys_idle_w / a9.power.sys_idle_w >= 25.0);
+    }
+
+    #[test]
+    fn small_node_specs_are_wimpy_and_valid() {
+        for spec in [NodeSpec::raspberry_pi4(), NodeSpec::orange_pi5()] {
+            assert!(spec.validate_operating_point(spec.cores, spec.fmax()).is_ok());
+            let nameplate = spec.nameplate_peak_w();
+            assert!(
+                nameplate > spec.power.sys_idle_w && nameplate < 15.0,
+                "{}: nameplate {nameplate} W",
+                spec.name
+            );
+        }
+        // DALEK premise: board idle far below the brawny node's.
+        assert!(NodeSpec::raspberry_pi4().power.sys_idle_w < 3.0);
+        assert!(NodeSpec::orange_pi5().power.sys_idle_w < 5.0);
     }
 
     #[test]

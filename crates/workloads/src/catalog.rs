@@ -386,6 +386,108 @@ pub fn extended(name: &str) -> Option<Workload> {
     Some(workload)
 }
 
+/// **DALEK-style catalog**: [`extended`] plus two small-node types
+/// (Raspberry Pi 4, Orange Pi 5) so configuration spaces can mix wimpy,
+/// modern-wimpy and brawny parts — the unconventional heterogeneity of
+/// *DALEK: An Unconventional & Energy-aware Heterogeneous Cluster*
+/// (PAPERS.md). Six node types with independent count/cores/freq choices
+/// push `count_configurations` past 10^7, the scale the streaming
+/// evaluator exists for.
+///
+/// Synthesis rules (same documented-rule approach as [`extended`], both
+/// starting from the A9 row because all four boards are in-order-ish ARM
+/// parts):
+///
+/// * **Pi4**: ~1.9× the A9's per-node throughput (A72 at 1.5 GHz vs A9 at
+///   1.4 GHz) and an 8-point better DPR, on the A9's bottleneck shape.
+/// * **OPi5**: ~4.2× the A9's throughput (8 wider cores at 2.4 GHz) and a
+///   14-point better DPR.
+///
+/// I/O-bound shapes become compute-bound exactly as in [`extended`].
+pub fn dalek(name: &str) -> Option<Workload> {
+    let mut workload = extended(name)?;
+    let row = paper_row(workload.name)?;
+    let recipe = recipes().into_iter().find(|r| r.name == workload.name)?;
+
+    let synth = |idle_w: f64, base: &crate::calibration::NodeTargets, base_idle: f64,
+                 thru_scale: f64, dpr_bonus: f64| {
+        let dpr_pct = (base.dpr_pct + dpr_bonus).min(95.0);
+        let thru = base.peak_throughput(base_idle) * thru_scale;
+        let peak = idle_w / (1.0 - dpr_pct / 100.0);
+        crate::calibration::NodeTargets {
+            dpr_pct,
+            ppr: thru / peak,
+        }
+    };
+    let adapt = |shape: Shape| match shape {
+        Shape::IoBytes { cpu_frac, mem_frac, .. } | Shape::IoRequests { cpu_frac, mem_frac, .. } => {
+            Shape::Compute {
+                mem_ratio: (mem_frac / cpu_frac.max(0.05)).min(1.0),
+            }
+        }
+        other => other,
+    };
+
+    let pi4 = NodeSpec::raspberry_pi4();
+    let pi4_targets = synth(pi4.power.sys_idle_w, &row.a9, 1.8, 1.9, 8.0);
+    let pi4_fit = fit_demand(&pi4, &pi4_targets, adapt(recipe.a9_shape));
+
+    let opi5 = NodeSpec::orange_pi5();
+    let opi5_targets = synth(opi5.power.sys_idle_w, &row.a9, 1.8, 4.2, 14.0);
+    let opi5_fit = fit_demand(&opi5, &opi5_targets, adapt(recipe.a9_shape));
+
+    workload.profiles.push(NodeProfile {
+        spec: pi4,
+        demand: pi4_fit.demand,
+        frictions: recipe.frictions,
+    });
+    workload.profiles.push(NodeProfile {
+        spec: opi5,
+        demand: opi5_fit.demand,
+        frictions: recipe.frictions,
+    });
+    Some(workload)
+}
+
+#[cfg(test)]
+mod dalek_tests {
+    use super::*;
+    use crate::model::SingleNodeModel;
+
+    #[test]
+    fn dalek_catalog_has_six_profiles() {
+        for name in ["EP", "memcached", "x264", "blackscholes", "Julius", "RSA-2048"] {
+            let w = dalek(name).unwrap();
+            let nodes: Vec<&str> = w.profiles.iter().map(|p| p.spec.name).collect();
+            assert_eq!(nodes, ["A9", "K10", "A15", "XeonE5", "Pi4", "OPi5"], "{name}");
+        }
+    }
+
+    #[test]
+    fn dalek_synthesis_rules_hold() {
+        let w = dalek("EP").unwrap();
+        let thru = |node: &str| {
+            let p = w.try_profile(node).unwrap();
+            SingleNodeModel::new(&p.spec, &p.demand, w.io_rate)
+                .throughput(p.spec.cores, p.spec.fmax())
+        };
+        assert!((thru("Pi4") / thru("A9") - 1.9).abs() < 1e-6);
+        assert!((thru("OPi5") / thru("A9") - 4.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn small_nodes_beat_a9_on_proportionality() {
+        let w = dalek("blackscholes").unwrap();
+        let ipr = |node: &str| {
+            let p = w.try_profile(node).unwrap();
+            let m = SingleNodeModel::new(&p.spec, &p.demand, w.io_rate);
+            p.spec.power.sys_idle_w / m.busy_power(p.spec.cores, p.spec.fmax())
+        };
+        assert!(ipr("Pi4") < ipr("A9"), "Pi4 should beat A9 on IPR");
+        assert!(ipr("OPi5") < ipr("Pi4"), "OPi5 should beat Pi4 on IPR");
+    }
+}
+
 #[cfg(test)]
 mod extended_tests {
     use super::*;

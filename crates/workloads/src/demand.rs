@@ -42,6 +42,21 @@ impl OpDemand {
     }
 }
 
+/// One operating point of a workload on a node type: the two per-op
+/// scalars every cluster-level composition needs. Computed in exactly one
+/// place ([`Workload::try_operating_point`]) so the analytic model
+/// (`ClusterModel::job_energy`), the exploration cache (`EvalCache`) and
+/// the streaming SoA evaluator compose **the same floating-point values**
+/// — their bit-identity contract holds by construction, not by parallel
+/// maintenance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Modeled execution rate of one node at this point, ops/s.
+    pub rate_ops_s: f64,
+    /// Modeled energy of one operation on one node at this point, joules.
+    pub j_per_op: f64,
+}
+
 /// A workload's demand, friction set and hardware binding for one node type.
 #[derive(Debug, Clone)]
 pub struct NodeProfile {
@@ -98,6 +113,27 @@ impl Workload {
     pub fn profile_or_panic(&self, node_name: &str) -> &NodeProfile {
         self.try_profile(node_name)
             .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The `(rate, energy-per-op)` operating point of one node of type
+    /// `node_name` running `cores` active cores at `freq` Hz — the
+    /// canonical per-op accessor behind every cluster composition (see
+    /// [`OperatingPoint`]). Valid because every time term of
+    /// [`SingleNodeModel`](crate::SingleNodeModel) is linear through the
+    /// origin in ops, so one op's energy scales to any op count.
+    pub fn try_operating_point(
+        &self,
+        node_name: &str,
+        cores: u32,
+        freq: f64,
+    ) -> Result<OperatingPoint, EnpropError> {
+        let profile = self.try_profile(node_name)?;
+        let model =
+            crate::model::SingleNodeModel::new(&profile.spec, &profile.demand, self.io_rate);
+        Ok(OperatingPoint {
+            rate_ops_s: model.throughput(cores, freq),
+            j_per_op: model.energy(1.0, cores, freq).total(),
+        })
     }
 
     /// Build the simulator work demand for executing `ops` operations of

@@ -41,5 +41,5 @@ pub mod loadgen;
 mod demand;
 mod model;
 
-pub use demand::{NodeProfile, OpDemand, Workload};
+pub use demand::{NodeProfile, OpDemand, OperatingPoint, Workload};
 pub use model::SingleNodeModel;

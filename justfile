@@ -40,11 +40,26 @@ obs-smoke:
     echo "obs-smoke: OK"
 
 # Perf regression gate for the evaluation pipeline: reduced sweep,
-# sequential vs pooled vs pooled+memoized, appends BENCH_space_eval.json
-# (DESIGN.md §12). Exits 1 if the optimized path regresses past the
-# sequential baseline.
+# sequential vs pooled vs pooled+memoized, plus the mega-scale
+# streaming-vs-materializing scenario; appends BENCH_space_eval.json
+# (DESIGN.md §12, §17). Exits 1 if the optimized path regresses past the
+# sequential baseline, if streaming loses its 2x edge at 10^6 configs,
+# or if the streamed sweep drifts past 3x its best recorded trajectory.
 perf-smoke:
+    #!/usr/bin/env sh
+    set -eu
     cargo run --release -p enprop-bench --bin perf_smoke --offline
+    rows="$(sed -n 's/.*"cmd":"space_eval\.stream_pruned","wall_ms":\([0-9.][0-9.]*\).*/\1/p' \
+        BENCH_space_eval.json)"
+    if [ "$(printf '%s\n' "$rows" | grep -c .)" -ge 2 ]; then
+        newest="$(printf '%s\n' "$rows" | tail -1)"
+        best="$(printf '%s\n' "$rows" | sed '$d' | sort -g | head -1)"
+        if [ "$(awk -v n="$newest" -v b="$best" 'BEGIN { print (n <= 3 * b) ? 1 : 0 }')" != 1 ]; then
+            echo "perf-smoke: stream_pruned regressed: ${newest} ms > 3x best ${best} ms" >&2
+            exit 1
+        fi
+        echo "perf trajectory: stream_pruned ${newest} ms (best recorded ${best} ms)"
+    fi
 
 # Serving-mode gate (DESIGN.md §13): replay the bundled arrival trace
 # under an active chaos plan, assert a clean exit and the conservation

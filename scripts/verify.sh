@@ -37,6 +37,20 @@ grep -q traceEvents "$obs_tmp/t.json"
 grep -q enprop-obs-metrics-v1 "$obs_tmp/m.json"
 echo "==> perf smoke (pooled + memoized evaluation must not regress)"
 cargo run --release -p enprop-bench --bin perf_smoke --offline
+# Perf trajectory for the mega-scale streamed sweep (DESIGN.md §17): the
+# row perf_smoke just appended may cost at most 3x the best previously
+# recorded space_eval.stream_pruned run. Skipped until history exists.
+stream_rows="$(sed -n 's/.*"cmd":"space_eval\.stream_pruned","wall_ms":\([0-9.][0-9.]*\).*/\1/p' \
+    BENCH_space_eval.json)"
+if [ "$(printf '%s\n' "$stream_rows" | grep -c .)" -ge 2 ]; then
+    newest="$(printf '%s\n' "$stream_rows" | tail -1)"
+    best_prev="$(printf '%s\n' "$stream_rows" | sed '$d' | sort -g | head -1)"
+    if [ "$(awk -v n="$newest" -v b="$best_prev" 'BEGIN { print (n <= 3 * b) ? 1 : 0 }')" != 1 ]; then
+        echo "verify: space_eval.stream_pruned regressed: ${newest} ms > 3x best recorded ${best_prev} ms" >&2
+        exit 1
+    fi
+    echo "perf trajectory: stream_pruned ${newest} ms (best recorded ${best_prev} ms)"
+fi
 echo "==> serve smoke (chaos replay + conservation + throughput floor)"
 serve_out="$(./target/release/enprop replay --trace examples/replay_trace.jsonl \
     --mtbf 6 --stall 2 --slowdown 3 --repair 5 --seed 7)"
